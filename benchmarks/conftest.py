@@ -1,0 +1,20 @@
+"""Pytest fixtures for the benchmark harness (see harness.py)."""
+
+import pytest
+
+from harness import HdcWorkload, KnnWorkload
+
+
+@pytest.fixture(scope="session")
+def hdc_1bit():
+    return HdcWorkload(bits=1)
+
+
+@pytest.fixture(scope="session")
+def hdc_2bit():
+    return HdcWorkload(bits=2)
+
+
+@pytest.fixture(scope="session")
+def knn_workload():
+    return KnnWorkload()

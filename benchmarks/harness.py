@@ -1,0 +1,75 @@
+"""Shared benchmark harness: workloads, runners and result caching.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§IV).  Absolute numbers come from our simulator calibration; the asserted
+*shapes* (who wins, rough factors, crossovers) are the paper's claims.
+"""
+
+import numpy as np
+
+import repro.frontend.torch_api as torch
+from repro.apps import synthetic_mnist, synthetic_pneumonia, train_hdc
+from repro.arch import ArchSpec
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+
+#: MNIST test-set size: per-query metrics extrapolate to the full set.
+MNIST_QUERIES = 10_000
+
+
+class HdcWorkload:
+    """The HDC/MNIST similarity workload (8k dims, 10 classes)."""
+
+    def __init__(self, bits: int = 1, dimensions: int = 8192):
+        dataset = synthetic_mnist(n_train=256, n_test=16)
+        self.model = train_hdc(dataset, dimensions=dimensions, bits=bits)
+        self.queries = self.model.encode_queries(dataset.test_x[:1])
+        self.bits = bits
+
+    @property
+    def patterns(self):
+        return self.model.n_classes
+
+    @property
+    def dimensions(self):
+        return self.model.dimensions
+
+    def run(self, spec: ArchSpec):
+        """Compile and execute one query; returns the ExecutionReport."""
+        kernel_model, example = self.model.kernel(n_queries=1)
+        kernel = C4CAMCompiler(spec).compile(kernel_model, example)
+        kernel(self.queries)
+        return kernel.last_report
+
+
+class KnnWorkload:
+    """The KNN/Pneumonia workload (1024 patterns × 1024 features)."""
+
+    def __init__(self, patterns: int = 1024, features: int = 1024):
+        from repro.apps import build_knn, pad_features
+
+        dataset = synthetic_pneumonia(n_train=patterns - 8, n_test=4)
+        self.knn = build_knn(
+            dataset, k=5, feature_multiple=features, row_multiple=patterns
+        )
+        self.query = pad_features(dataset.test_x, features)[0]
+
+    def run(self, spec: ArchSpec):
+        kernel_model, example = self.knn.kernel()
+        kernel = C4CAMCompiler(spec).compile(kernel_model, example)
+        kernel(self.query)
+        return kernel.last_report
+
+
+
+def print_series(title, columns, rows):
+    """Print a paper-style table: rows of (label, values...)."""
+    print(f"\n=== {title} ===")
+    header = f"{'':>20}" + "".join(f"{c:>12}" for c in columns)
+    print(header)
+    for label, values in rows:
+        cells = "".join(
+            f"{v:>12.4g}" if isinstance(v, float) else f"{v:>12}"
+            for v in values
+        )
+        print(f"{label:>20}" + cells)

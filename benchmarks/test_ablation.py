@@ -1,0 +1,136 @@
+"""Ablation benches for the modeling decisions DESIGN.md calls out.
+
+Each ablation zeroes one component of the technology model and shows which
+paper-observed effect disappears — evidence that the reproduced shapes
+come from the modeled mechanism, not from coincidental constants:
+
+* selective-search reload cost → the cam-density latency blow-up at large
+  subarrays (Fig. 8b);
+* standby/peripheral power → the cam-density energy crossover (Fig. 8a);
+* standby clock-gating in power mode → cam-power's "energy stays the
+  same" (paper §IV-C1);
+* reduction-hop latency → part of the fixed per-query cost that damps the
+  cam-power slowdown at small subarrays.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch import dse_spec
+from repro.arch.technology import FEFET_45NM
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+
+from harness import HdcWorkload, print_series
+
+
+def run_with(workload, spec, tech):
+    kernel_model, example = workload.model.kernel(n_queries=1)
+    kernel = C4CAMCompiler(spec, tech).compile(kernel_model, example)
+    kernel(workload.queries)
+    return kernel.last_report
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return HdcWorkload(bits=1)
+
+
+def test_ablate_selective_reload(workload):
+    """Without per-batch reload costs, density's latency penalty shrinks."""
+    full = FEFET_45NM
+    ablated = replace(
+        FEFET_45NM, t_selective_per_row=0.0, t_bcast_base=0.0,
+        t_bcast_per_col=0.0,
+    )
+    spec_b = dse_spec(256, "latency")
+    spec_d = dse_spec(256, "density")
+    ratio_full = (
+        run_with(workload, spec_d, full).query_latency_ns
+        / run_with(workload, spec_b, full).query_latency_ns
+    )
+    ratio_ablated = (
+        run_with(workload, spec_d, ablated).query_latency_ns
+        / run_with(workload, spec_b, ablated).query_latency_ns
+    )
+    print_series(
+        "Ablation: selective-search reload cost (density/base latency, 256x256)",
+        ["full model", "reload=0"],
+        [("ratio", [ratio_full, ratio_ablated])],
+    )
+    assert ratio_ablated < ratio_full
+    assert ratio_full > 10  # the Fig. 8b blow-up needs the reload term
+
+
+def test_ablate_standby_power(workload):
+    """Without standby power, the density energy crossover disappears."""
+    no_standby = replace(
+        FEFET_45NM, p_subarray=0.0, p_array=0.0, p_mat=0.0, p_bank=0.0
+    )
+    rows = []
+    for label, tech in (("full", FEFET_45NM), ("standby=0", no_standby)):
+        ratios = []
+        for n in (64, 128, 256):
+            base = run_with(workload, dse_spec(n, "latency"), tech)
+            dens = run_with(workload, dse_spec(n, "density"), tech)
+            ratios.append(dens.energy.query_total / base.energy.query_total)
+        rows.append((label, ratios))
+    print_series(
+        "Ablation: standby power (density/base energy)",
+        ["64x64", "128x128", "256x256"], rows,
+    )
+    full_ratios, ablated_ratios = rows[0][1], rows[1][1]
+    assert full_ratios[2] > 1.5          # crossover present (Fig. 8a)
+    assert ablated_ratios[2] < 1.2       # gone without standby
+
+
+def test_ablate_power_mode_gating(workload):
+    """Without clock-gating, cam-power energy would exceed base — the
+    gating assumption is what reproduces 'energy remains the same'."""
+    # Gating is a machine behaviour keyed off the optimization target;
+    # approximate "no gating" by charging full standby on the longer
+    # power-mode latency.
+    base = run_with(workload, dse_spec(256, "latency"), FEFET_45NM)
+    power = run_with(workload, dse_spec(256, "power"), FEFET_45NM)
+    # Reconstruct ungated standby analytically: the machine applied a duty
+    # factor of 1/occupancy (= 1/8 here); undo it.
+    gated_standby = power.energy.standby
+    ungated_total = (
+        power.energy.query_total - gated_standby + gated_standby * 8
+    )
+    print_series(
+        "Ablation: power-mode clock gating (energy vs base, 256x256)",
+        ["base", "power gated", "power ungated"],
+        [("energy pJ", [base.energy.query_total,
+                        power.energy.query_total, ungated_total])],
+    )
+    assert abs(power.energy.query_total - base.energy.query_total) \
+        / base.energy.query_total < 0.25
+    assert ungated_total > 1.3 * base.energy.query_total
+
+
+def test_ablate_merge_hop_latency(workload):
+    """Zeroing reduction hops shrinks the fixed per-query cost, which
+    *raises* the cam-power relative slowdown (less latency to hide in)."""
+    no_merge = replace(FEFET_45NM, t_merge_hop=0.0)
+    def slowdown(tech):
+        base = run_with(workload, dse_spec(32, "latency"), tech)
+        power = run_with(workload, dse_spec(32, "power"), tech)
+        return power.query_latency_ns / base.query_latency_ns
+
+    full, ablated = slowdown(FEFET_45NM), slowdown(no_merge)
+    print_series(
+        "Ablation: merge-hop latency (power/base slowdown, 32x32)",
+        ["full model", "merge=0"],
+        [("slowdown", [full, ablated])],
+    )
+    assert ablated > full
+
+
+def test_bench_ablation_point(benchmark, workload):
+    ablated = replace(FEFET_45NM, t_selective_per_row=0.0)
+    benchmark.pedantic(
+        lambda: run_with(workload, dse_spec(64, "density"), ablated),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,135 @@
+"""Fig. 7 — validation of C4CAM against the hand-crafted mapping [22].
+
+Paper setup: HDC on MNIST (8k dims), arrays of 32×C with C ∈
+{16, 32, 64, 128}, 4 mats/bank, 4 arrays/mat, 8 subarrays/array, both
+1-bit (TCAM) and 2-bit (MCAM) implementations.
+
+Paper result: compiler-generated code deviates from the manual design by
+0.9 % (latency) / 5.5 % (energy) geomean; latency grows with C (slower ML
+discharge), energy shrinks with C (fewer peripherals); 2-bit costs more
+than 1-bit.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch import validation_spec
+from repro.baselines import run_manual_similarity
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+
+from harness import print_series
+
+COLUMNS = (16, 32, 64, 128)
+
+
+def compiled_report(workload, cols, bits):
+    spec = validation_spec(cols, bits_per_cell=bits)
+    return workload.run(spec)
+
+
+def manual_report(workload, cols, bits):
+    spec = validation_spec(cols, bits_per_cell=bits)
+    return run_manual_similarity(
+        workload.model.prototypes, workload.queries, spec,
+        k=1, metric="dot", largest=True,
+    ).report
+
+
+@pytest.fixture(scope="module")
+def results(hdc_1bit, hdc_2bit):
+    out = {}
+    for bits, wl in ((1, hdc_1bit), (2, hdc_2bit)):
+        for c in COLUMNS:
+            out[("c4cam", bits, c)] = compiled_report(wl, c, bits)
+            out[("manual", bits, c)] = manual_report(wl, c, bits)
+    return out
+
+
+def test_fig7a_latency(results):
+    rows = []
+    for src in ("c4cam", "manual"):
+        for bits in (1, 2):
+            rows.append((
+                f"{src}-{bits}b",
+                [results[(src, bits, c)].query_latency_ns for c in COLUMNS],
+            ))
+    print_series("Fig. 7a: validation latency (ns/query)",
+                 [f"{c} cols" for c in COLUMNS], rows)
+
+    # Latency grows with C for every series.
+    for _label, series in rows:
+        assert series == sorted(series)
+    # 2-bit is slower than 1-bit.
+    for src in ("c4cam", "manual"):
+        for c in COLUMNS:
+            assert results[(src, 2, c)].query_latency_ns > \
+                results[(src, 1, c)].query_latency_ns
+
+
+def test_fig7b_energy(results):
+    rows = []
+    for src in ("c4cam", "manual"):
+        for bits in (1, 2):
+            rows.append((
+                f"{src}-{bits}b",
+                [results[(src, bits, c)].energy.query_total for c in COLUMNS],
+            ))
+    print_series("Fig. 7b: validation energy (pJ/query)",
+                 [f"{c} cols" for c in COLUMNS], rows)
+
+    # Energy shrinks with C (fewer subarrays/peripherals).
+    for _label, series in rows:
+        assert series == sorted(series, reverse=True)
+    # Binary is more energy efficient than multi-bit (paper §IV-B).
+    for src in ("c4cam", "manual"):
+        for c in COLUMNS:
+            assert results[(src, 1, c)].energy.query_total < \
+                results[(src, 2, c)].energy.query_total
+
+
+def test_validation_deviation_geomean(results):
+    """Compiler vs manual: small systematic deviation (paper: 0.9 %/5.5 %)."""
+    lat_devs, en_devs = [], []
+    for bits in (1, 2):
+        for c in COLUMNS:
+            comp = results[("c4cam", bits, c)]
+            man = results[("manual", bits, c)]
+            lat_devs.append(
+                abs(man.query_latency_ns - comp.query_latency_ns)
+                / comp.query_latency_ns
+            )
+            en_devs.append(
+                abs(man.energy.query_total - comp.energy.query_total)
+                / comp.energy.query_total
+            )
+    geo = lambda xs: math.exp(
+        sum(math.log(max(x, 1e-9)) for x in xs) / len(xs)
+    )
+    print(f"\nvalidation deviation geomean: latency={geo(lat_devs):.3%} "
+          f"energy={geo(en_devs):.3%} (paper: 0.9% / 5.5%)")
+    assert geo(lat_devs) < 0.10
+    assert geo(en_devs) < 0.10
+
+
+def test_functional_equivalence(hdc_1bit):
+    """Compiler and manual mapping return identical classifications."""
+    spec = validation_spec(32)
+    kernel_model, example = hdc_1bit.model.kernel(n_queries=1)
+    kernel = C4CAMCompiler(spec).compile(kernel_model, example)
+    _v, idx = kernel(hdc_1bit.queries)
+    manual = run_manual_similarity(
+        hdc_1bit.model.prototypes, hdc_1bit.queries, spec,
+        k=1, metric="dot", largest=True,
+    )
+    np.testing.assert_array_equal(idx.ravel(), manual.indices.ravel())
+
+
+def test_bench_compile_and_run(benchmark, hdc_1bit):
+    """pytest-benchmark target: one compile+execute at the 32×64 point."""
+    spec = validation_spec(64)
+    benchmark.pedantic(
+        lambda: hdc_1bit.run(spec), rounds=3, iterations=1, warmup_rounds=1
+    )

@@ -1,0 +1,124 @@
+"""Fig. 8 — design-space exploration: subarray size × optimization config.
+
+HDC/MNIST (8k dims) on N×N subarrays, N ∈ {16..256}, under cam-base,
+cam-power, cam-density and cam-power+density.  Paper claims asserted:
+
+* power config: ~0.57× base power at 16×16 shrinking to ~0.20× at 256×256;
+  latency grows ~2× (32×32) to ~4.86× (256×256); energy ≈ base;
+* density config: energy below base for small subarrays (~0.6× average for
+  16–64), crossing over to above base at 128/256 (paper: 1.4× and 5.1×);
+  execution time up to ~23× at 256×256;
+* power+density: the lowest power of all configs (4.2 %–23.4 % of base in
+  the paper), at a large latency cost.
+"""
+
+import pytest
+
+from repro.arch import dse_spec
+
+from harness import MNIST_QUERIES, print_series
+
+SIZES = (16, 32, 64, 128, 256)
+CONFIGS = ("latency", "power", "density", "power+density")
+LABELS = {
+    "latency": "cam-base",
+    "power": "cam-power",
+    "density": "cam-density",
+    "power+density": "cam-power+density",
+}
+
+
+@pytest.fixture(scope="module")
+def sweep(hdc_1bit):
+    return {
+        (target, n): hdc_1bit.run(dse_spec(n, target))
+        for target in CONFIGS
+        for n in SIZES
+    }
+
+
+def series(sweep, getter):
+    return {
+        target: [getter(sweep[(target, n)]) for n in SIZES]
+        for target in CONFIGS
+    }
+
+
+def test_fig8a_energy(sweep):
+    e = series(sweep, lambda r: r.energy.query_total)
+    print_series(
+        "Fig. 8a: energy (pJ/query)", [f"{n}x{n}" for n in SIZES],
+        [(LABELS[t], e[t]) for t in CONFIGS],
+    )
+    base, power, density = e["latency"], e["power"], e["density"]
+    # Power config: energy stays close to base (paper: "remains the same").
+    for b, p in zip(base, power):
+        assert abs(p - b) / b < 0.25
+    # Density: cheaper than base for 32/64 ...
+    assert density[1] < 0.8 * base[1]
+    assert density[2] < 0.8 * base[2]
+    # ... equal at 16 (same placement) ...
+    assert density[0] == pytest.approx(base[0], rel=0.05)
+    # ... and the crossover: more expensive at 128 and much more at 256
+    # (paper: 1.4x and 5.1x).
+    assert density[3] > base[3]
+    assert density[4] > 2.0 * base[4]
+
+
+def test_fig8b_latency(sweep):
+    lat = series(sweep, lambda r: r.query_latency_ns)
+    print_series(
+        "Fig. 8b: latency (ms, full 10k-query MNIST test set)",
+        [f"{n}x{n}" for n in SIZES],
+        [(LABELS[t], [v * MNIST_QUERIES * 1e-6 for v in lat[t]])
+         for t in CONFIGS],
+    )
+    base, power, density, both = (
+        lat["latency"], lat["power"], lat["density"], lat["power+density"]
+    )
+    # Power: ~2x at 32x32 growing towards ~5x at 256x256 (paper: 2, 4.86).
+    assert power[1] / base[1] == pytest.approx(2.0, rel=0.3)
+    assert power[4] / base[4] == pytest.approx(4.86, rel=0.3)
+    ratios = [p / b for p, b in zip(power, base)]
+    assert ratios == sorted(ratios)
+    # Density: large-subarray serialization; paper reports ~23x at 256.
+    assert 8 <= density[4] / base[4] <= 30
+    # Power+density: the slowest of all configurations at every size >16.
+    for i in range(1, len(SIZES)):
+        assert both[i] >= max(base[i], power[i], density[i]) * 0.99
+
+
+def test_fig8c_power(sweep):
+    pw = series(sweep, lambda r: r.power_mw)
+    print_series(
+        "Fig. 8c: power (mW)", [f"{n}x{n}" for n in SIZES],
+        [(LABELS[t], pw[t]) for t in CONFIGS],
+    )
+    base, power, both = pw["latency"], pw["power"], pw["power+density"]
+    # Power config saves power everywhere, more at larger subarrays
+    # (paper: 0.57x at 16x16 down to 0.20x at 256x256).
+    ratios = [p / b for p, b in zip(power, base)]
+    assert all(r < 0.75 for r in ratios)
+    assert ratios[-1] < 0.35
+    assert ratios[-1] < ratios[0]
+    # Power+density is the most power-efficient configuration overall
+    # (paper: 23.4% of base at 16x16, 4.2% at the largest size).
+    for i in range(1, len(SIZES)):
+        assert both[i] <= min(pw[t][i] for t in CONFIGS if t != "power+density")
+
+
+def test_base_latency_grows_with_columns(sweep):
+    base = [sweep[("latency", n)].query_latency_ns for n in SIZES]
+    assert base == sorted(base)  # ML discharge slows with columns
+
+
+def test_base_energy_shrinks_with_size(sweep):
+    base = [sweep[("latency", n)].energy.query_total for n in SIZES]
+    assert base == sorted(base, reverse=True)  # fewer peripherals
+
+
+def test_bench_dse_point(benchmark, hdc_1bit):
+    benchmark.pedantic(
+        lambda: hdc_1bit.run(dse_spec(64, "density")),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )

@@ -1,0 +1,62 @@
+"""Table I — number of subarrays used to implement HDC (8k dims).
+
+Paper values (N×N subarrays):
+
+    cam-based:   512, 256, 128, 64, 32
+    cam-density: 512,  86,  22,  6,  2
+
+These are reproduced *exactly* — the counts follow from the partition
+algebra, not from simulator calibration.
+"""
+
+import pytest
+
+from repro.arch import dse_spec
+from repro.transforms import subarrays_required
+
+from harness import print_series
+
+SIZES = (16, 32, 64, 128, 256)
+PAPER_BASED = (512, 256, 128, 64, 32)
+PAPER_DENSITY = (512, 86, 22, 6, 2)
+
+
+def counts(density):
+    return tuple(
+        subarrays_required(10, 8192, dse_spec(n), density) for n in SIZES
+    )
+
+
+def test_table1_exact():
+    based = counts(False)
+    density = counts(True)
+    print_series(
+        "Table I: subarrays used to implement HDC",
+        [f"{n}x{n}" for n in SIZES],
+        [("cam-based", list(based)), ("cam-density", list(density))],
+    )
+    assert based == PAPER_BASED
+    assert density == PAPER_DENSITY
+
+
+def test_density_capacity_gain_grows_with_size():
+    based, density = counts(False), counts(True)
+    gains = [b / d for b, d in zip(based, density)]
+    assert gains == sorted(gains)
+    assert gains[-1] == 16.0  # 32 vs 2 at 256x256
+
+
+def test_allocated_machine_matches_table(hdc_1bit):
+    """The compiled kernel must allocate exactly the Table-I counts."""
+    for n, expected in zip(SIZES[:3], PAPER_BASED[:3]):
+        report = hdc_1bit.run(dse_spec(n))
+        assert report.subarrays_used == expected
+    for n, expected in zip(SIZES[1:3], PAPER_DENSITY[1:3]):
+        report = hdc_1bit.run(dse_spec(n, "density"))
+        assert report.subarrays_used == expected
+
+
+def test_bench_partition_plan(benchmark):
+    benchmark.pedantic(
+        lambda: [counts(False), counts(True)], rounds=10, iterations=5
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""HDC classification on (synthetic) MNIST — the paper's main workload.
+
+Trains binary (1-bit/TCAM) and multi-bit (2-bit/MCAM) HDC models, compiles
+their similarity kernels with C4CAM, validates classification accuracy
+against the numpy golden model, and compares end-to-end latency/energy
+with the GPU baseline (paper §IV-B "GPU comparison").
+
+Run:  python examples/hdc_mnist.py
+"""
+
+import numpy as np
+
+from repro.apps import synthetic_mnist, train_hdc
+from repro.arch import validation_spec
+from repro.baselines import QUADRO_RTX_6000
+from repro.compiler import C4CAMCompiler
+
+
+def evaluate(bits: int, dataset, dims: int = 2048, n_eval: int = 32):
+    model = train_hdc(dataset, dimensions=dims, bits=bits)
+    spec = validation_spec(cols=64, bits_per_cell=bits)
+    compiler = C4CAMCompiler(spec)
+
+    kernel_model, example = model.kernel(n_queries=n_eval)
+    kernel = compiler.compile(kernel_model, example)
+
+    queries = model.encode_queries(dataset.test_x[:n_eval])
+    _values, indices = kernel(queries)
+    preds = indices.ravel()
+    reference = model.classify_reference(queries)
+    accuracy = (preds == dataset.test_y[:n_eval]).mean()
+    report = kernel.last_report
+
+    assert np.array_equal(preds, reference), "CAM diverged from reference"
+    label = f"{bits}-bit ({'TCAM' if bits == 1 else 'MCAM'})"
+    print(f"--- HDC {label}, {dims} dimensions ---")
+    print(f"accuracy:           {accuracy:.3f}")
+    print(f"per-query latency:  {report.query_latency_ns / n_eval:.2f} ns")
+    print(f"per-query energy:   {report.energy.query_total / n_eval:.1f} pJ")
+    print(f"subarrays / banks:  {report.subarrays_used} / {report.banks_used}")
+    return model, report, n_eval
+
+
+def gpu_comparison(model, report, n_eval):
+    """End-to-end CAM vs GPU, paper §IV-B (48× / 46.8× on the testbed)."""
+    from repro.arch.technology import FEFET_45NM as tech
+
+    gpu_lat = QUADRO_RTX_6000.query_latency_ns(
+        model.n_classes, model.dimensions
+    )
+    gpu_energy = QUADRO_RTX_6000.query_energy_pj(
+        model.n_classes, model.dimensions
+    )
+    cam_lat = report.query_latency_ns / n_eval + tech.t_system_per_query
+    cam_energy = (
+        report.energy.query_total / n_eval + tech.e_system_per_query
+    )
+    print("\n--- GPU comparison (end-to-end, per query) ---")
+    print(f"GPU ({QUADRO_RTX_6000.name}): {gpu_lat:.0f} ns, "
+          f"{gpu_energy / 1e6:.2f} µJ")
+    print(f"CAM system:                  {cam_lat:.0f} ns, "
+          f"{cam_energy / 1e6:.2f} µJ")
+    print(f"speedup: {gpu_lat / cam_lat:.1f}x   "
+          f"energy improvement: {gpu_energy / cam_energy:.1f}x")
+
+
+def main():
+    dataset = synthetic_mnist(n_train=512, n_test=64)
+    model1, report1, n_eval = evaluate(1, dataset)
+    evaluate(2, dataset)
+    gpu_comparison(model1, report1, n_eval)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Two-stage recommender on CAM banks — the motivation of paper §II-C.
+
+Stage 1 (filtering) matches the user's context tags against per-item
+filter signatures with a threshold Hamming search; stage 2 (ranking) runs
+a dot-product similarity over item embeddings.  The stages live on
+disjoint banks, so a request stream pipelines: throughput is set by the
+slower stage while single-request latency is the sum.
+
+Run:  python examples/recsys_pipeline.py
+"""
+
+import numpy as np
+
+from repro.apps.recsys import RecSysPipeline
+from repro.arch import paper_spec
+
+
+def main():
+    rng = np.random.default_rng(42)
+    n_items, tag_bits, dims = 24, 64, 256
+
+    # Binary filter signatures (e.g. category/region tags) and embeddings.
+    item_filters = rng.choice([0.0, 1.0], (n_items, tag_bits))
+    item_embeddings = rng.standard_normal((n_items, dims)).astype(np.float32)
+
+    pipeline = RecSysPipeline(
+        item_filters, item_embeddings,
+        spec=paper_spec(rows=32, cols=64),
+        top_k=8,
+    )
+
+    # A user whose context matches item 3's tags within distance 12.
+    context = item_filters[3].copy()
+    flips = rng.choice(tag_bits, size=6, replace=False)
+    context[flips] = 1 - context[flips]
+    user_embedding = item_embeddings[3] + 0.1 * rng.standard_normal(dims)
+
+    rec = pipeline.recommend(context, user_embedding, filter_threshold=12.0)
+
+    print(f"items passing the filter stage: {rec.candidates}/{n_items}")
+    print(f"recommended item ids:           {rec.item_ids.tolist()}")
+    print(f"scores:                         {np.round(rec.scores, 2).tolist()}")
+    print(f"end-to-end latency:             {rec.latency_ns:.1f} ns")
+    print(f"pipelined request interval:     {rec.throughput_interval_ns:.1f} ns")
+    fb, rb = pipeline.banks_used()
+    print(f"banks: {fb} (filter) + {rb} (ranking), independent")
+    assert 3 in rec.item_ids, "expected the seeded item to be recommended"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

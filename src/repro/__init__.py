@@ -1,0 +1,12 @@
+"""C4CAM reproduction: a compiler for CAM-based in-memory accelerators.
+
+Public entry points:
+
+* :class:`repro.compiler.C4CAMCompiler` -- end-to-end TorchScript-to-CAM
+  compilation and simulated execution.
+* :mod:`repro.frontend` -- the mini-torch tracing frontend.
+* :mod:`repro.arch` -- architecture specifications and technology models.
+* :mod:`repro.simulator` -- the CAM functional/energy simulator substrate.
+"""
+
+__version__ = "1.0.0"

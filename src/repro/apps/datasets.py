@@ -1,0 +1,109 @@
+"""Synthetic datasets with the shapes of the paper's benchmarks.
+
+The paper evaluates HDC on MNIST (28×28, 10 classes) and KNN on the
+Pneumonia chest X-ray set (2 classes, larger images).  Neither dataset is
+available offline, and the latency/energy experiments depend only on the
+data *shapes*; classification-accuracy validation uses these synthetic
+stand-ins consistently on every path (CAM, host reference, GPU model).
+
+Each class has a smooth random template; samples are template + noise, so
+nearest-neighbour structure is real and classifiers beat chance by a wide
+margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled split pair with flattened feature vectors."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    n_classes: int
+    image_shape: Tuple[int, int]
+
+    @property
+    def n_features(self) -> int:
+        return self.train_x.shape[1]
+
+
+def _make_classes(
+    n_classes: int,
+    image_shape: Tuple[int, int],
+    n_train: int,
+    n_test: int,
+    noise: float,
+    seed: int,
+) -> Dataset:
+    rng = np.random.default_rng(seed)
+    h, w = image_shape
+    d = h * w
+    # Smooth templates: low-frequency random fields per class.
+    freq = rng.standard_normal((n_classes, 8, 8))
+    templates = np.empty((n_classes, d), dtype=np.float64)
+    for c in range(n_classes):
+        up = np.kron(freq[c], np.ones((h // 8 + 1, w // 8 + 1)))[:h, :w]
+        templates[c] = up.reshape(-1)
+    templates /= np.abs(templates).max(axis=1, keepdims=True)
+
+    def sample(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, n_classes, size=n)
+        data = templates[labels] + noise * rng.standard_normal((n, d))
+        return data.astype(np.float32), labels.astype(np.int64)
+
+    train_x, train_y = sample(n_train)
+    test_x, test_y = sample(n_test)
+    return Dataset(train_x, train_y, test_x, test_y, n_classes, image_shape)
+
+
+def synthetic_mnist(
+    n_train: int = 512, n_test: int = 128, noise: float = 0.35, seed: int = 7
+) -> Dataset:
+    """An MNIST-shaped dataset: 28×28 images, 10 classes."""
+    return _make_classes(10, (28, 28), n_train, n_test, noise, seed)
+
+
+def synthetic_pneumonia(
+    n_train: int = 1024, n_test: int = 128, noise: float = 0.4, seed: int = 11
+) -> Dataset:
+    """A Pneumonia-shaped dataset: 32×32 X-ray crops, 2 classes."""
+    return _make_classes(2, (32, 32), n_train, n_test, noise, seed)
+
+
+def pad_features(x: np.ndarray, multiple: int) -> np.ndarray:
+    """Zero-pad feature columns to a multiple of ``multiple``.
+
+    CAM column tiles must evenly divide the feature dimension; zero
+    padding never changes dot/Euclidean/Hamming rankings when applied to
+    both stored patterns and queries.
+    """
+    n, d = x.shape
+    rem = d % multiple
+    if rem == 0:
+        return x
+    pad = multiple - rem
+    return np.concatenate([x, np.zeros((n, pad), dtype=x.dtype)], axis=1)
+
+
+def pad_rows(x: np.ndarray, y: np.ndarray, multiple: int):
+    """Pad pattern rows (and labels) to a multiple of ``multiple``.
+
+    Padding rows repeat the first pattern so the extra rows never alter
+    top-1 results and labels stay aligned.  Returns (x, y, n_valid).
+    """
+    n = x.shape[0]
+    rem = n % multiple
+    if rem == 0:
+        return x, y, n
+    pad = multiple - rem
+    x_pad = np.concatenate([x, np.repeat(x[:1], pad, axis=0)], axis=0)
+    y_pad = np.concatenate([y, np.repeat(y[:1], pad, axis=0)], axis=0)
+    return x_pad, y_pad, n

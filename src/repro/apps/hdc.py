@@ -1,0 +1,119 @@
+"""Hyperdimensional computing (HDC) on CAM (paper §IV-A3, Kazemi et al.).
+
+HDC encodes inputs as high-dimensional hypervectors (the paper uses 8k
+dimensions on MNIST); class prototypes are bundled from training encodings
+and inference is a similarity search between the query hypervector and the
+prototypes — exactly the kernel of paper Fig. 4a.
+
+Two variants, as in the validation study (Fig. 7):
+
+* **1-bit (binary)** — bipolar ±1 hypervectors on a TCAM; dot-product
+  ranking is realised as Hamming distance;
+* **2-bit (multi-bit)** — prototypes quantized to 4 levels on an MCAM
+  with native multi-bit dot similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+import repro.frontend.torch_api as torch
+from repro.frontend import placeholder
+from repro.simulator.cells import quantize
+
+from .datasets import Dataset
+
+
+class HDCEncoder:
+    """Random-projection HDC encoder: sign(x · Φ) with bipolar Φ."""
+
+    def __init__(self, in_features: int, dimensions: int = 8192, seed: int = 3):
+        rng = np.random.default_rng(seed)
+        self.dimensions = dimensions
+        self.projection = rng.choice(
+            [-1.0, 1.0], size=(in_features, dimensions)
+        ).astype(np.float32)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Encode a batch (``N×F``) into bipolar hypervectors (``N×D``)."""
+        hv = np.sign(np.atleast_2d(x) @ self.projection)
+        hv[hv == 0] = 1.0
+        return hv.astype(np.float32)
+
+
+@dataclass
+class HDCModel:
+    """Trained HDC prototypes plus the similarity kernel definition."""
+
+    prototypes: np.ndarray        # n_classes × D (bipolar or quantized)
+    queries_encoder: HDCEncoder
+    bits: int                     # 1 (binary) or 2 (multi-bit)
+
+    @property
+    def n_classes(self) -> int:
+        return self.prototypes.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self.prototypes.shape[1]
+
+    def encode_queries(self, x: np.ndarray) -> np.ndarray:
+        """Encode raw inputs into query hypervectors matching the bits."""
+        hv = self.queries_encoder.encode(x)
+        if self.bits == 1:
+            return hv
+        return quantize(hv, self.bits).astype(np.float32)
+
+    def kernel(self, n_queries: int):
+        """The TorchScript similarity kernel (paper Fig. 4a) and its
+        example inputs for tracing."""
+        prototypes = self.prototypes
+
+        class DotSimilarity(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(prototypes)
+
+            def forward(self, input):
+                others = self.weight.transpose(-2, -1)
+                matmul = torch.matmul(input, others)
+                values, indices = torch.ops.aten.topk(matmul, 1, largest=True)
+                return values, indices
+
+        example = [placeholder((n_queries, self.dimensions))]
+        return DotSimilarity(), example
+
+    def classify_reference(self, queries_hv: np.ndarray) -> np.ndarray:
+        """Golden-model classification (numpy dot similarity)."""
+        scores = queries_hv.astype(np.float64) @ self.prototypes.T.astype(np.float64)
+        return scores.argmax(axis=1).astype(np.int64)
+
+
+def train_hdc(
+    dataset: Dataset,
+    dimensions: int = 8192,
+    bits: int = 1,
+    seed: int = 3,
+) -> HDCModel:
+    """Bundle class prototypes from the training split."""
+    if bits not in (1, 2):
+        raise ValueError("HDC variants are 1-bit (binary) or 2-bit")
+    encoder = HDCEncoder(dataset.n_features, dimensions, seed)
+    encoded = encoder.encode(dataset.train_x)
+    prototypes = np.zeros((dataset.n_classes, dimensions), dtype=np.float64)
+    for c in range(dataset.n_classes):
+        members = encoded[dataset.train_y == c]
+        if len(members):
+            prototypes[c] = members.sum(axis=0)
+    if bits == 1:
+        protos = np.sign(prototypes)
+        protos[protos == 0] = 1.0
+    else:
+        protos = quantize(prototypes, bits).astype(np.float64)
+    return HDCModel(
+        prototypes=protos.astype(np.float32),
+        queries_encoder=encoder,
+        bits=bits,
+    )

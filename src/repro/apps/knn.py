@@ -1,0 +1,91 @@
+"""K-nearest neighbours on CAM (paper §IV-A3).
+
+KNN stores the entire training set in the CAM and finds the K closest
+patterns per query — the best-match search CAMs excel at.  The paper runs
+KNN on Pneumonia chest X-rays; Table II reports EDP and power across
+subarray sizes for the cam-based and cam-power configurations.
+
+The stored set is padded to the subarray row granularity (see
+:func:`repro.apps.datasets.pad_rows`) and the Euclidean kernel of
+Algorithm 1 (``sub → norm → topk``) is used for single-query search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+import repro.frontend.torch_api as torch
+from repro.frontend import placeholder
+
+from .datasets import Dataset, pad_features, pad_rows
+
+
+@dataclass
+class KNNModel:
+    """A CAM-resident KNN classifier."""
+
+    train_x: np.ndarray   # padded P×D stored patterns
+    train_y: np.ndarray   # padded labels
+    n_valid: int          # patterns before padding
+    k: int
+
+    @property
+    def patterns(self) -> int:
+        return self.train_x.shape[0]
+
+    @property
+    def features(self) -> int:
+        return self.train_x.shape[1]
+
+    def kernel(self):
+        """Single-query Euclidean KNN kernel (Algorithm 1's EuclNorm)."""
+        stored = self.train_x
+        k = self.k
+
+        class EuclideanKNN(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(stored)
+
+            def forward(self, query):
+                diff = torch.sub(query, self.weight)
+                dist = torch.norm(diff, p=2, dim=-1)
+                values, indices = torch.ops.aten.topk(dist, k, largest=False)
+                return values, indices
+
+        example = [placeholder((self.features,))]
+        return EuclideanKNN(), example
+
+    def vote(self, neighbour_indices: np.ndarray) -> int:
+        """Majority vote over neighbour labels for one query."""
+        labels = self.train_y[np.asarray(neighbour_indices).reshape(-1)]
+        return int(np.bincount(labels).argmax())
+
+    def classify_reference(self, queries: np.ndarray) -> np.ndarray:
+        """Golden-model KNN classification."""
+        out = np.empty(len(queries), dtype=np.int64)
+        stored = self.train_x.astype(np.float64)
+        for i, q in enumerate(queries.astype(np.float64)):
+            dist = np.sqrt(((stored - q) ** 2).sum(axis=1))
+            nearest = np.argsort(dist, kind="stable")[: self.k]
+            out[i] = self.vote(nearest)
+        return out
+
+
+def build_knn(
+    dataset: Dataset,
+    k: int = 5,
+    feature_multiple: int = 256,
+    row_multiple: int = 256,
+) -> KNNModel:
+    """Prepare a KNN model padded for CAM tiling.
+
+    ``feature_multiple``/``row_multiple`` should be multiples of the
+    largest subarray dimension being swept so one model serves the whole
+    design-space exploration.
+    """
+    x = pad_features(dataset.train_x, feature_multiple)
+    x, y, n_valid = pad_rows(x, dataset.train_y, row_multiple)
+    return KNNModel(train_x=x, train_y=y, n_valid=n_valid, k=k)

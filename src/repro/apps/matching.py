@@ -1,0 +1,146 @@
+"""Exact and threshold pattern matching on CAM.
+
+The paper's introduction motivates CAMs with *exact matching* workloads
+(network security, data mining) and *approximate/threshold search*
+(bioinformatics, genome analysis): a stored pattern "matches" when its
+distance to the query is within a threshold.  This module provides a
+pattern-matching store built directly on the simulator machine — the
+runtime-library usage mode of a CAM (akin to DT2CAM's mapping tool, but
+generic over patterns), complementing the compiler-driven similarity path.
+
+Patterns may contain TCAM don't-care positions
+(:data:`repro.simulator.cells.DONT_CARE`), enabling wildcard rules such as
+packet classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.arch.technology import FEFET_45NM, TechnologyModel
+from repro.simulator.machine import CamMachine
+from repro.simulator.metrics import ExecutionReport
+from repro.simulator.peripherals import threshold_match
+from repro.transforms.partitioning import compute_partition_plan
+
+
+@dataclass
+class MatchResult:
+    """One query's outcome: matching pattern ids and their distances."""
+
+    indices: np.ndarray
+    distances: np.ndarray
+
+    @property
+    def matched(self) -> bool:
+        return self.indices.size > 0
+
+    @property
+    def first(self) -> int:
+        """Priority-encoded first match (lowest pattern id), or -1."""
+        return int(self.indices.min()) if self.matched else -1
+
+
+class PatternMatcher:
+    """A CAM-resident pattern store with exact/threshold lookup.
+
+    Patterns are tiled over the hierarchy exactly like the compiler's
+    partitioning (column tiles × row tiles); per-subarray Hamming partials
+    are merged and thresholded — distance 0 is an exact match.
+    """
+
+    def __init__(
+        self,
+        patterns: np.ndarray,
+        spec: ArchSpec,
+        tech: TechnologyModel = FEFET_45NM,
+    ):
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
+        self.patterns = patterns
+        self.spec = spec
+        self.tech = tech
+        n, d = patterns.shape
+        if d % min(spec.cols, d) != 0 and d > spec.cols:
+            raise ValueError(
+                f"pattern width {d} must be a multiple of the subarray "
+                f"width {spec.cols} (pad with don't-cares)"
+            )
+        self.plan = compute_partition_plan(n, d, 1, spec, use_density=False)
+        self.machine = CamMachine(spec, tech)
+        self.setup_time = 0.0
+        self._sub_ids: List[int] = []
+        self._place()
+        self._time = 0.0
+        self._queries = 0
+
+    def _place(self) -> None:
+        plan, spec, m = self.plan, self.spec, self.machine
+        for lin in range(plan.subarrays):
+            if lin % spec.subarrays_per_bank == 0:
+                bank = m.alloc_bank()
+            if lin % spec.subarrays_per_mat == 0:
+                mat = m.alloc_mat(bank)
+            if lin % spec.subarrays_per_array == 0:
+                array = m.alloc_array(mat)
+            sub = m.alloc_subarray(array)
+            self._sub_ids.append(sub)
+            rp, cp = lin // plan.col_tiles, lin % plan.col_tiles
+            tile = self.patterns[
+                rp * plan.row_tile : (rp + 1) * plan.row_tile,
+                cp * plan.col_tile : (cp + 1) * plan.col_tile,
+            ]
+            if tile.size:
+                self.setup_time += m.write_value(sub, tile, at=self.setup_time)
+
+    # ------------------------------------------------------------- queries
+    def lookup(self, query: np.ndarray, threshold: float = 0.0) -> MatchResult:
+        """Find stored patterns within ``threshold`` Hamming distance.
+
+        ``threshold=0`` is exact match (EX); larger thresholds give the
+        TH scheme of paper §II-B.  Don't-care cells never mismatch.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.patterns.shape[1]:
+            raise ValueError(
+                f"query width {query.shape[0]} does not match pattern "
+                f"width {self.patterns.shape[1]}"
+            )
+        plan, m = self.plan, self.machine
+        m.begin_query()
+        self._queries += 1
+        t0 = self._time + self.tech.frontend_latency(self.spec)
+        scores = np.zeros(plan.patterns)
+        phase = 0.0
+        search_type = "exact" if threshold == 0.0 else "threshold"
+        for lin, sub in enumerate(self._sub_ids):
+            rp, cp = lin // plan.col_tiles, lin % plan.col_tiles
+            qslice = query[cp * plan.col_tile : (cp + 1) * plan.col_tile]
+            dur = m.search(
+                sub, qslice, search_type=search_type, metric="hamming",
+                row_count=plan.row_tile, at=t0,
+            )
+            phase = max(phase, dur)
+            vals, _idx, rdur = m.read(sub, plan.row_tile, at=t0 + dur)
+            phase = max(phase, dur + rdur)
+            n = min(len(vals), plan.patterns - rp * plan.row_tile)
+            scores[rp * plan.row_tile : rp * plan.row_tile + n] += vals[:n]
+            m.merge("subarray", n, at=t0 + phase)
+        mask = threshold_match(scores, threshold, prefers_larger=False)
+        hits = np.flatnonzero(mask)
+        self._time = (
+            t0 + phase + 3 * self.tech.merge_latency("array")
+            + self.tech.host_topk_latency(plan.patterns)
+        )
+        return MatchResult(
+            indices=hits.astype(np.int64), distances=scores[hits]
+        )
+
+    def report(self) -> ExecutionReport:
+        """Metrics over every lookup performed so far."""
+        rep = self.machine.finish(self._time, self.setup_time)
+        rep.queries = max(1, self._queries)
+        return rep

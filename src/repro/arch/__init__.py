@@ -1,0 +1,19 @@
+"""Architecture specifications and technology models."""
+
+from .presets import dse_spec, iso_capacity_spec, paper_spec, validation_spec
+from .spec import ACCESS_MODES, CAM_TYPES, LEVELS, OPT_TARGETS, ArchSpec
+from .technology import FEFET_45NM, TechnologyModel
+
+__all__ = [
+    "ACCESS_MODES",
+    "CAM_TYPES",
+    "LEVELS",
+    "OPT_TARGETS",
+    "ArchSpec",
+    "FEFET_45NM",
+    "TechnologyModel",
+    "dse_spec",
+    "iso_capacity_spec",
+    "paper_spec",
+    "validation_spec",
+]

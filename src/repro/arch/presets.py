@@ -1,0 +1,65 @@
+"""Ready-made architecture specifications used in the paper's evaluation."""
+
+from __future__ import annotations
+
+from .spec import ArchSpec
+
+#: The paper's fixed evaluation hierarchy: 4 mats/bank, 4 arrays/mat,
+#: 8 subarrays/array, banks allocated on demand (paper §IV-B, §IV-C1).
+PAPER_HIERARCHY = dict(
+    subarrays_per_array=8,
+    arrays_per_mat=4,
+    mats_per_bank=4,
+    banks=None,
+)
+
+
+def paper_spec(
+    rows: int = 32,
+    cols: int = 32,
+    cam_type: str = "tcam",
+    bits_per_cell: int = 1,
+    optimization_target: str = "latency",
+) -> ArchSpec:
+    """The evaluation configuration with an ``rows × cols`` subarray."""
+    return ArchSpec(
+        rows=rows,
+        cols=cols,
+        cam_type=cam_type,
+        bits_per_cell=bits_per_cell,
+        optimization_target=optimization_target,
+        **PAPER_HIERARCHY,
+    )
+
+
+def validation_spec(cols: int, bits_per_cell: int = 1) -> ArchSpec:
+    """Fig. 7 validation: 32×C arrays, C ∈ {16, 32, 64, 128}."""
+    cam_type = "tcam" if bits_per_cell == 1 else "mcam"
+    return paper_spec(rows=32, cols=cols, cam_type=cam_type,
+                      bits_per_cell=bits_per_cell)
+
+
+def dse_spec(n: int, optimization_target: str = "latency") -> ArchSpec:
+    """Fig. 8 design-space exploration: square N×N subarrays."""
+    return paper_spec(rows=n, cols=n, optimization_target=optimization_target)
+
+
+def iso_capacity_spec(n: int, optimization_target: str = "latency") -> ArchSpec:
+    """Fig. 9 iso-capacity: 2^16 cells per array, subarray size N×N.
+
+    The subarray count per array adjusts so each array always holds
+    65 536 cells (256×256 → 1 subarray/array ... 16×16 → 256).
+    """
+    cells = 1 << 16
+    per_array = cells // (n * n)
+    if per_array * n * n != cells:
+        raise ValueError(f"subarray size {n} does not tile 2^16 cells")
+    return ArchSpec(
+        rows=n,
+        cols=n,
+        subarrays_per_array=per_array,
+        arrays_per_mat=4,
+        mats_per_bank=4,
+        banks=None,
+        optimization_target=optimization_target,
+    )

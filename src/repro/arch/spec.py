@@ -1,0 +1,175 @@
+"""Architecture specification (paper §III-B).
+
+C4CAM takes, besides the input program, an architectural configuration
+describing the CAM hierarchy (paper Fig. 2): ``B`` banks of ``T`` mats of
+``A`` arrays of ``S`` subarrays of ``rows × cols`` cells, the access mode
+of each level (sequential or parallel), whether the device supports
+selective row search, and the optimization target (latency, power, or
+utilization/density).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Hierarchy levels, outermost first.
+LEVELS = ("bank", "mat", "array", "subarray")
+
+ACCESS_MODES = ("parallel", "sequential")
+CAM_TYPES = ("bcam", "tcam", "mcam", "acam")
+OPT_TARGETS = ("latency", "power", "density", "power+density")
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """A CAM accelerator configuration.
+
+    Attributes
+    ----------
+    rows, cols:
+        Subarray geometry in cells (e.g. 32×64).
+    subarrays_per_array, arrays_per_mat, mats_per_bank:
+        Capacity of each hierarchy level.  The paper's evaluation fixes
+        4 mats/bank, 4 arrays/mat, 8 subarrays/array.
+    banks:
+        ``None`` means "allocate as many banks as the workload needs"
+        (the paper's default); an integer caps the machine size.
+    cam_type:
+        ``tcam`` (binary/ternary, Hamming), ``mcam`` (multi-bit) or
+        ``acam`` (analog ranges).  ``bcam`` behaves as tcam without
+        wildcard support.
+    bits_per_cell:
+        1 for binary/ternary CAMs, 2+ for multi-bit CAM cells.
+    access_modes:
+        Per-level access mode.  ``parallel`` levels issue child operations
+        concurrently; ``sequential`` levels serialize them (the knob behind
+        the cam-power configuration).
+    selective_search:
+        Whether the device supports selective row pre-charging [27],
+        enabling the cam-density placement.
+    optimization_target:
+        Which built-in optimization the compiler applies: ``latency``
+        (cam-base), ``power``, ``density`` or ``power+density``.
+    process_node_nm, word_width_bits:
+        Recorded for documentation/reporting; the technology model keys
+        off its own parameters.
+    """
+
+    rows: int = 32
+    cols: int = 32
+    subarrays_per_array: int = 8
+    arrays_per_mat: int = 4
+    mats_per_bank: int = 4
+    banks: Optional[int] = None
+    cam_type: str = "tcam"
+    bits_per_cell: int = 1
+    access_modes: Dict[str, str] = field(
+        default_factory=lambda: {level: "parallel" for level in LEVELS}
+    )
+    selective_search: bool = True
+    optimization_target: str = "latency"
+    process_node_nm: int = 45
+    word_width_bits: int = 64
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("subarray geometry must be positive")
+        if self.cam_type not in CAM_TYPES:
+            raise ValueError(f"unknown cam_type: {self.cam_type!r}")
+        if self.bits_per_cell < 1:
+            raise ValueError("bits_per_cell must be >= 1")
+        if self.cam_type in ("bcam", "tcam") and self.bits_per_cell != 1:
+            raise ValueError(f"{self.cam_type} cells store exactly 1 bit")
+        if self.optimization_target not in OPT_TARGETS:
+            raise ValueError(
+                f"unknown optimization_target: {self.optimization_target!r}"
+            )
+        for level in LEVELS:
+            mode = self.access_modes.get(level)
+            if mode not in ACCESS_MODES:
+                raise ValueError(f"bad access mode for {level}: {mode!r}")
+
+    # ------------------------------------------------------------ capacity
+    @property
+    def subarrays_per_mat(self) -> int:
+        return self.subarrays_per_array * self.arrays_per_mat
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        return self.subarrays_per_mat * self.mats_per_bank
+
+    @property
+    def cells_per_subarray(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def cells_per_array(self) -> int:
+        return self.cells_per_subarray * self.subarrays_per_array
+
+    def banks_needed(self, n_subarrays: int) -> int:
+        """Banks required to host ``n_subarrays`` subarrays."""
+        if n_subarrays <= 0:
+            return 0
+        return -(-n_subarrays // self.subarrays_per_bank)
+
+    def mode(self, level: str) -> str:
+        """Access mode of ``level``."""
+        return self.access_modes[level]
+
+    # ----------------------------------------------------------- variation
+    def with_subarray(self, rows: int, cols: int) -> "ArchSpec":
+        """A copy with a different subarray geometry (for DSE sweeps)."""
+        return replace(self, rows=rows, cols=cols)
+
+    def with_target(self, target: str) -> "ArchSpec":
+        """A copy with a different optimization target."""
+        return replace(self, optimization_target=target)
+
+    def with_modes(self, **modes: str) -> "ArchSpec":
+        """A copy overriding access modes, e.g. ``with_modes(subarray="sequential")``."""
+        merged = dict(self.access_modes)
+        merged.update(modes)
+        return replace(self, access_modes=merged)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-friendly)."""
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "subarrays_per_array": self.subarrays_per_array,
+            "arrays_per_mat": self.arrays_per_mat,
+            "mats_per_bank": self.mats_per_bank,
+            "banks": self.banks,
+            "cam_type": self.cam_type,
+            "bits_per_cell": self.bits_per_cell,
+            "access_modes": dict(self.access_modes),
+            "selective_search": self.selective_search,
+            "optimization_target": self.optimization_target,
+            "process_node_nm": self.process_node_nm,
+            "word_width_bits": self.word_width_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArchSpec":
+        """Build a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        valid = set(cls.__dataclass_fields__)
+        unknown = set(data) - valid
+        if unknown:
+            raise ValueError(f"unknown ArchSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "ArchSpec":
+        """Load a specification from a JSON file."""
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        """Write the specification to a JSON file."""
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2)
+            f.write("\n")

@@ -1,0 +1,11 @@
+"""Evaluation baselines: GPU cost model and hand-crafted CAM mapping."""
+
+from .gpu import QUADRO_RTX_6000, GpuModel
+from .manual import ManualResult, run_manual_similarity
+
+__all__ = [
+    "GpuModel",
+    "ManualResult",
+    "QUADRO_RTX_6000",
+    "run_manual_similarity",
+]

@@ -1,0 +1,135 @@
+"""``python -m repro.cli`` — the c4cam command-line driver.
+
+Mirrors an ``mlir-opt``-style workflow on the built-in HDC workload:
+
+    python -m repro.cli --arch arch.json --dump-ir cam --stats
+    python -m repro.cli --rows 64 --cols 64 --target density
+    python -m repro.cli --pipeline torch-to-cim,cim-fuse-ops --dump-ir cim
+
+The driver traces the paper's Fig. 4a kernel on synthetic data, runs the
+requested pipeline, optionally prints the IR, executes on the simulated
+CAM and reports the metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.arch import ArchSpec, paper_spec
+from repro.compiler import C4CAMCompiler, build_pipeline
+from repro.frontend import placeholder
+from repro.ir.printer import print_module
+from repro.simulator.analysis import format_report
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="c4cam",
+        description="Compile and simulate a similarity kernel on a CAM.",
+    )
+    p.add_argument("--arch", help="architecture JSON file")
+    p.add_argument("--rows", type=int, default=32, help="subarray rows")
+    p.add_argument("--cols", type=int, default=32, help="subarray columns")
+    p.add_argument(
+        "--cam-type", default="tcam", choices=("bcam", "tcam", "mcam", "acam")
+    )
+    p.add_argument("--bits", type=int, default=1, help="bits per cell")
+    p.add_argument(
+        "--target", default="latency",
+        choices=("latency", "power", "density", "power+density"),
+        help="optimization target",
+    )
+    p.add_argument("--patterns", type=int, default=10)
+    p.add_argument("--dims", type=int, default=1024)
+    p.add_argument("--queries", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--dump-ir", choices=("torch", "cim", "cam"),
+        help="print the IR after the given stage and exit",
+    )
+    p.add_argument(
+        "--pipeline",
+        help="comma-separated custom pass pipeline (overrides --dump-ir)",
+    )
+    p.add_argument(
+        "--stats", action="store_true", help="print detailed metrics"
+    )
+    return p
+
+
+def load_spec(args) -> ArchSpec:
+    if args.arch:
+        return ArchSpec.from_json(args.arch)
+    return paper_spec(
+        rows=args.rows,
+        cols=args.cols,
+        cam_type=args.cam_type,
+        bits_per_cell=args.bits,
+        optimization_target=args.target,
+    )
+
+
+def build_kernel(args):
+    import repro.frontend.torch_api as torch
+
+    rng = np.random.default_rng(args.seed)
+    stored = rng.choice([-1.0, 1.0], (args.patterns, args.dims)).astype(
+        np.float32
+    )
+    queries = rng.choice([-1.0, 1.0], (args.queries, args.dims)).astype(
+        np.float32
+    )
+
+    class DotSimilarity(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(stored)
+
+        def forward(self, input):
+            others = self.weight.transpose(-2, -1)
+            matmul = torch.matmul(input, others)
+            values, indices = torch.ops.aten.topk(matmul, 1, largest=True)
+            return values, indices
+
+    example = [placeholder((args.queries, args.dims))]
+    return DotSimilarity(), example, queries
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    spec = load_spec(args)
+    compiler = C4CAMCompiler(spec)
+    model, example, queries = build_kernel(args)
+
+    if args.pipeline:
+        from repro.passes.pipeline import build_pipeline_from_spec
+
+        module, _params = compiler.import_torchscript(model, example)
+        pm = build_pipeline_from_spec(args.pipeline, spec)
+        pm.run(module)
+        print(print_module(module))
+        return 0
+
+    if args.dump_ir:
+        module, _params = compiler.import_torchscript(model, example)
+        if args.dump_ir != "torch":
+            pm = build_pipeline(spec, lower_to_cam=args.dump_ir == "cam")
+            pm.run(module)
+        print(print_module(module))
+        return 0
+
+    kernel = compiler.compile(model, example)
+    _values, indices = kernel(queries)
+    print(f"predicted indices: {indices.ravel().tolist()}")
+    report = kernel.last_report
+    if args.stats:
+        print(format_report(report, kernel.last_machine))
+    else:
+        print(report.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

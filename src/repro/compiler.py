@@ -1,0 +1,171 @@
+"""C4CAM end-to-end compiler driver.
+
+Glues the whole flow of paper Fig. 3 together::
+
+    TorchScript (mini-torch trace)
+      └─ import_graph                 (PyTorch MLIR converter)
+         └─ torch-to-cim              (per-op execute blocks)
+            └─ cim-fuse-ops           (merge execute blocks)
+               └─ cim-similarity-match (Algorithm 1)
+                  └─ cim-partition    (compulsory partitioning plan)
+                     └─ cim-to-cam    (bufferize + hierarchy mapping)
+                        └─ Interpreter over a CamMachine (simulator)
+
+Typical usage::
+
+    from repro.compiler import C4CAMCompiler
+    from repro.arch import paper_spec
+
+    compiler = C4CAMCompiler(paper_spec(rows=32, cols=64))
+    kernel = compiler.compile(model, example_inputs=[...])
+    outputs = kernel(queries)
+    print(kernel.last_report.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+import repro.dialects  # noqa: F401  (registers all dialects)
+from repro.arch.spec import ArchSpec
+from repro.arch.technology import FEFET_45NM, TechnologyModel
+from repro.frontend import import_graph, trace
+from repro.frontend.torch_api import Graph, Tensor
+from repro.ir.module import ModuleOp
+from repro.ir.printer import print_module
+from repro.passes.pass_manager import PassManager
+from repro.runtime.executor import Interpreter
+from repro.simulator.machine import CamMachine
+from repro.simulator.metrics import ExecutionReport
+from repro.transforms import (
+    CimFuseOpsPass,
+    CimPartitionPass,
+    CimToCamPass,
+    SimilarityMatchingPass,
+    TorchToCimPass,
+    resolve_optimization,
+)
+
+from repro.ir.context import load_all_dialects
+
+load_all_dialects()
+
+
+def build_pipeline(spec: ArchSpec, lower_to_cam: bool = True) -> PassManager:
+    """The standard C4CAM pass pipeline for ``spec``."""
+    config = resolve_optimization(spec)
+    pm = PassManager()
+    pm.add(TorchToCimPass())
+    pm.add(CimFuseOpsPass())
+    pm.add(SimilarityMatchingPass())
+    pm.add(CimPartitionPass(spec, use_density=config.use_density))
+    if lower_to_cam:
+        pm.add(CimToCamPass(spec, config))
+    return pm
+
+
+class CompiledKernel:
+    """A compiled, executable kernel bound to an architecture."""
+
+    def __init__(
+        self,
+        module: ModuleOp,
+        spec: ArchSpec,
+        tech: TechnologyModel,
+        parameters: Sequence[np.ndarray],
+        func_name: str = "forward",
+        uses_machine: bool = True,
+        noise_sigma: float = 0.0,
+        noise_seed: int = 0,
+    ):
+        self.module = module
+        self.spec = spec
+        self.tech = tech
+        self.parameters = list(parameters)
+        self.func_name = func_name
+        self.uses_machine = uses_machine
+        self.noise_sigma = noise_sigma
+        self.noise_seed = noise_seed
+        self.last_report: Optional[ExecutionReport] = None
+        self.last_machine: Optional[CamMachine] = None
+
+    def __call__(self, *inputs: np.ndarray) -> List[np.ndarray]:
+        """Execute with fresh machine state; returns the kernel outputs.
+
+        Captured module parameters (e.g. the stored patterns) are appended
+        automatically, matching the traced signature.
+        """
+        machine = None
+        if self.uses_machine:
+            machine = CamMachine(
+                self.spec,
+                self.tech,
+                noise_sigma=self.noise_sigma,
+                noise_seed=self.noise_seed,
+            )
+        interpreter = Interpreter(self.module, machine)
+        all_inputs = list(inputs) + self.parameters
+        outputs, report = interpreter.run_function(self.func_name, all_inputs)
+        self.last_report = report
+        self.last_machine = machine
+        return outputs
+
+    def mlir(self) -> str:
+        """The compiled module as textual IR."""
+        return print_module(self.module)
+
+
+class C4CAMCompiler:
+    """The user-facing compiler: trace, lower, and execute on a CAM."""
+
+    def __init__(self, spec: ArchSpec, tech: TechnologyModel = FEFET_45NM):
+        self.spec = spec
+        self.tech = tech
+
+    def import_torchscript(self, fn: Callable, example_inputs) -> tuple:
+        """Trace ``fn`` and import it to torch-dialect IR.
+
+        Returns ``(module, parameter_arrays)``.
+        """
+        graph = fn if isinstance(fn, Graph) else trace(fn, example_inputs)
+        imported = import_graph(graph)
+        return imported.module, imported.parameter_arrays
+
+    def compile(
+        self,
+        fn: Callable,
+        example_inputs: Sequence[Tensor],
+        lower_to_cam: bool = True,
+        noise_sigma: float = 0.0,
+        noise_seed: int = 0,
+    ) -> CompiledKernel:
+        """Full pipeline: trace → torch IR → cim → cam.
+
+        With ``lower_to_cam=False`` the kernel stays at the cim level and
+        executes on the host reference path (useful for validation).
+        ``noise_sigma`` enables device-variation modeling: Gaussian
+        sensing noise on every match-line score (accuracy studies).
+        """
+        module, params = self.import_torchscript(fn, example_inputs)
+        pipeline = build_pipeline(self.spec, lower_to_cam=lower_to_cam)
+        pipeline.run(module)
+        return CompiledKernel(
+            module,
+            self.spec,
+            self.tech,
+            params,
+            uses_machine=lower_to_cam,
+            noise_sigma=noise_sigma,
+            noise_seed=noise_seed,
+        )
+
+    def reference(
+        self, fn: Callable, example_inputs: Sequence[Tensor]
+    ) -> CompiledKernel:
+        """The un-lowered torch-IR kernel (numpy golden model)."""
+        module, params = self.import_torchscript(fn, example_inputs)
+        return CompiledKernel(
+            module, self.spec, self.tech, params, uses_machine=False
+        )

@@ -1,0 +1,163 @@
+"""Evaluation utilities: sweeps, comparisons and table export.
+
+The design-space exploration of paper §IV-C is a grid of (architecture ×
+optimization target) points.  This module runs such grids over any
+similarity kernel, returns structured results and exports CSV — the
+plumbing behind the examples and benchmark harness.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.arch.technology import FEFET_45NM, TechnologyModel
+from repro.compiler import C4CAMCompiler
+from repro.simulator.metrics import ExecutionReport
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (architecture, target) measurement."""
+
+    label: str
+    rows: int
+    cols: int
+    target: str
+    report: ExecutionReport
+
+    @property
+    def latency_ns(self) -> float:
+        return self.report.query_latency_ns / self.report.queries
+
+    @property
+    def energy_pj(self) -> float:
+        return self.report.energy.query_total / self.report.queries
+
+    @property
+    def power_mw(self) -> float:
+        return self.report.power_mw
+
+    @property
+    def edp(self) -> float:
+        return self.report.edp
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, with lookup and export helpers."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    def get(self, target: str, rows: int, cols: int) -> SweepPoint:
+        for p in self.points:
+            if (p.target, p.rows, p.cols) == (target, rows, cols):
+                return p
+        raise KeyError(f"no sweep point ({target}, {rows}x{cols})")
+
+    def series(self, target: str, metric: str) -> List[float]:
+        """Metric values for one target, in insertion order."""
+        return [
+            getattr(p, metric) for p in self.points if p.target == target
+        ]
+
+    def targets(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.points:
+            if p.target not in seen:
+                seen.append(p.target)
+        return seen
+
+    def to_csv(self) -> str:
+        """CSV with one row per point (label, geometry, metrics)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(
+            ["label", "rows", "cols", "target", "latency_ns",
+             "energy_pj", "power_mw", "edp_njs", "subarrays", "banks"]
+        )
+        for p in self.points:
+            writer.writerow([
+                p.label, p.rows, p.cols, p.target,
+                f"{p.latency_ns:.4f}", f"{p.energy_pj:.4f}",
+                f"{p.power_mw:.6f}", f"{p.edp:.6e}",
+                p.report.subarrays_used, p.report.banks_used,
+            ])
+        return buf.getvalue()
+
+    def ratio(self, target: str, baseline: str, metric: str) -> List[float]:
+        """Per-size ratios of a target's metric against a baseline's."""
+        num = self.series(target, metric)
+        den = self.series(baseline, metric)
+        if len(num) != len(den):
+            raise ValueError("sweep series have different lengths")
+        return [n / d for n, d in zip(num, den)]
+
+
+KernelFactory = Callable[[], Tuple[object, Sequence]]
+"""Returns (traceable model, example inputs) — e.g. ``HDCModel.kernel``."""
+
+
+def run_sweep(
+    kernel_factory: KernelFactory,
+    inputs: Sequence[np.ndarray],
+    specs: Iterable[Tuple[str, ArchSpec]],
+    tech: TechnologyModel = FEFET_45NM,
+) -> SweepResult:
+    """Compile and execute the kernel on every (label, spec) point."""
+    result = SweepResult()
+    for label, spec in specs:
+        model, example = kernel_factory()
+        kernel = C4CAMCompiler(spec, tech).compile(model, example)
+        kernel(*inputs)
+        result.add(
+            SweepPoint(
+                label=label,
+                rows=spec.rows,
+                cols=spec.cols,
+                target=spec.optimization_target,
+                report=kernel.last_report,
+            )
+        )
+    return result
+
+
+def dse_grid(
+    sizes: Sequence[int] = (16, 32, 64, 128, 256),
+    targets: Sequence[str] = ("latency", "power", "density", "power+density"),
+) -> List[Tuple[str, ArchSpec]]:
+    """The paper's Fig. 8 grid as (label, spec) pairs."""
+    from repro.arch.presets import dse_spec
+
+    return [
+        (f"{target}/{n}x{n}", dse_spec(n, target))
+        for target in targets
+        for n in sizes
+    ]
+
+
+def format_table(
+    result: SweepResult,
+    metric: str,
+    sizes: Sequence[int],
+    title: str = "",
+) -> str:
+    """Fixed-width table of one metric: rows = targets, cols = sizes."""
+    lines = []
+    if title:
+        lines.append(f"=== {title} ===")
+    header = f"{'config':>16}" + "".join(f"{n:>12}" for n in sizes)
+    lines.append(header)
+    for target in result.targets():
+        values = result.series(target, metric)
+        cells = "".join(f"{v:>12.4g}" for v in values)
+        lines.append(f"{target:>16}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""C4CAM front end: tracing mini-torch API + importer to the torch dialect."""
+
+from . import torch_api as torch
+from .importer import ImportedFunction, import_graph
+from .torch_api import Graph, Module, Node, Tensor, TraceError, placeholder, trace
+
+__all__ = [
+    "Graph",
+    "ImportedFunction",
+    "Module",
+    "Node",
+    "Tensor",
+    "TraceError",
+    "import_graph",
+    "placeholder",
+    "torch",
+    "trace",
+]

@@ -1,0 +1,128 @@
+"""Importer: traced :class:`~repro.frontend.torch_api.Graph` → torch dialect.
+
+Plays the role of the PyTorch MLIR converter in the paper's flow (Fig. 3):
+the traced TorchScript program enters C4CAM as ``torch`` dialect IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dialects import func as func_d
+from repro.dialects import torch as torch_d
+from repro.ir.builder import OpBuilder
+from repro.ir.module import ModuleOp
+from repro.ir.types import FunctionType, TensorType, f32, i64
+from repro.ir.value import Value
+
+from .torch_api import Graph, Node, Tensor
+
+
+def _tensor_type(t: Tensor) -> TensorType:
+    elem = i64 if t.dtype == "i64" else f32
+    return TensorType(t.shape, elem)
+
+
+class ImportedFunction:
+    """The import result: a module plus parameter binding order."""
+
+    def __init__(self, module: ModuleOp, func: func_d.FuncOp,
+                 parameters: List[Tensor]):
+        self.module = module
+        self.func = func
+        self.parameters = parameters
+
+    @property
+    def parameter_arrays(self) -> List[np.ndarray]:
+        """Concrete arrays for the captured parameters, in argument order."""
+        return [p.data for p in self.parameters]
+
+
+def import_graph(graph: Graph, name: str = "forward") -> ImportedFunction:
+    """Convert a traced graph into a ``torch``-dialect function.
+
+    Function arguments are the trace placeholders followed by captured
+    parameters (TorchScript lifts module attributes the same way).
+    """
+    arg_tensors = list(graph.placeholders) + list(graph.parameters)
+    in_types = [_tensor_type(t) for t in arg_tensors]
+    out_types = [_tensor_type(t) for t in graph.outputs]
+
+    module = ModuleOp()
+    fn = func_d.FuncOp(name, FunctionType(in_types, out_types))
+    module.append(fn)
+    builder = OpBuilder.at_end(fn.body)
+
+    values: Dict[object, Value] = {}
+    for t, arg in zip(arg_tensors, fn.arguments):
+        values[id(t)] = arg
+
+    def resolve(t: Tensor) -> Value:
+        """IR value for a traced tensor (node output, placeholder or param)."""
+        if t.node is not None:
+            return values[(t.node.id, t.output_index)]
+        try:
+            return values[id(t)]
+        except KeyError:
+            raise ValueError(
+                f"tensor {t!r} is not reachable from the trace inputs"
+            ) from None
+
+    for node in graph.nodes:
+        results = _import_node(builder, node, resolve)
+        for i, res in enumerate(results):
+            values[(node.id, i)] = res
+
+    builder.create(func_d.ReturnOp, [resolve(t) for t in graph.outputs])
+    return ImportedFunction(module, fn, list(graph.parameters))
+
+
+def _import_node(builder: OpBuilder, node: Node, resolve) -> List[Value]:
+    """Emit the torch-dialect op(s) for one traced node."""
+
+    def operand(i: int) -> Value:
+        return resolve(node.inputs[i])
+
+    if node.op == "transpose":
+        op = builder.create(
+            torch_d.TransposeIntOp,
+            operand(0),
+            node.attrs["dim0"],
+            node.attrs["dim1"],
+        )
+        return [op.result]
+    if node.op == "matmul":
+        lhs, rhs = operand(0), operand(1)
+        cls = torch_d.MmOp if len(lhs.type.shape) == 2 else torch_d.MatmulOp
+        return [builder.create(cls, lhs, rhs).result]
+    if node.op == "sub":
+        return [builder.create(torch_d.SubOp, operand(0), operand(1)).result]
+    if node.op == "div":
+        extra = operand(2) if len(node.inputs) > 2 else None
+        return [
+            builder.create(torch_d.DivOp, operand(0), operand(1), extra).result
+        ]
+    if node.op == "norm":
+        op = builder.create(
+            torch_d.NormOp,
+            operand(0),
+            p=node.attrs["p"],
+            dim=node.attrs["dim"],
+            keepdim=node.attrs["keepdim"],
+        )
+        return [op.result]
+    if node.op == "topk":
+        k_const = builder.create(torch_d.ConstantIntOp, node.attrs["k"])
+        op = builder.create(
+            torch_d.TopkOp,
+            operand(0),
+            k_const.result,
+            node.attrs["k"],
+            dim=node.attrs["dim"],
+            largest=node.attrs["largest"],
+            sorted=node.attrs["sorted"],
+        )
+        return list(op.results)
+    raise ValueError(f"unsupported traced op: {node.op!r}")

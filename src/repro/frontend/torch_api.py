@@ -1,0 +1,336 @@
+"""A tracing mini-``torch``: the TorchScript surface C4CAM consumes.
+
+Users write kernels exactly like the paper's Fig. 4a::
+
+    import repro.frontend.torch as torch
+
+    class DotSimilarity(torch.Module):
+        def __init__(self, weight):
+            self.weight = torch.tensor(weight)
+
+        def forward(self, input):
+            others = self.weight.transpose(-2, -1)
+            matmul = torch.matmul(input, others)
+            values, indices = torch.ops.aten.topk(matmul, 1, largest=False)
+            return indices
+
+Calling :func:`trace` records the operations into a :class:`Graph`, which
+the importer converts to the ``torch`` dialect.  Only the search-kernel
+subset of ATen is supported — including ``norm`` and ``topk``, the two
+primitives the paper adds to the MLIR PyTorch front end (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+class TraceError(TypeError):
+    """An unsupported operation or argument reached the tracer."""
+
+
+class Node:
+    """One traced operation."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        op: str,
+        inputs: Sequence["Tensor"],
+        attrs: Optional[dict] = None,
+        out_shapes: Sequence[Tuple[int, ...]] = (),
+        out_dtypes: Sequence[str] = (),
+    ):
+        self.op = op
+        self.inputs = list(inputs)
+        self.attrs = dict(attrs or {})
+        self.out_shapes = [tuple(s) for s in out_shapes]
+        self.out_dtypes = list(out_dtypes)
+        Node._counter += 1
+        self.id = Node._counter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.op}#{self.id})"
+
+
+class Graph:
+    """The result of tracing: placeholders, parameters and nodes."""
+
+    def __init__(self):
+        self.placeholders: List["Tensor"] = []
+        self.parameters: List["Tensor"] = []
+        self.nodes: List[Node] = []
+        self.outputs: List["Tensor"] = []
+
+    def add_node(self, node: Node) -> None:
+        self.nodes.append(node)
+
+
+_ACTIVE_GRAPH: Optional[Graph] = None
+
+
+def _graph() -> Graph:
+    if _ACTIVE_GRAPH is None:
+        raise TraceError(
+            "no active trace; build tensors inside trace()/Module.trace()"
+        )
+    return _ACTIVE_GRAPH
+
+
+class Tensor:
+    """A traced tensor value: shape + dtype + the node producing it."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dtype: str = "f32",
+        node: Optional[Node] = None,
+        output_index: int = 0,
+        data: Optional[np.ndarray] = None,
+        kind: str = "op",
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+        self.node = node
+        self.output_index = output_index
+        self.data = data
+        self.kind = kind  # placeholder / parameter / op / constant
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def size(self, dim: Optional[int] = None):
+        """Shape, or one dimension of it, torch-style."""
+        if dim is None:
+            return self.shape
+        return self.shape[dim]
+
+    # ------------------------------------------------------------- methods
+    def transpose(self, dim0: int, dim1: int) -> "Tensor":
+        return transpose(self, dim0, dim1)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        return matmul(self, other)
+
+    def sub(self, other: "Tensor") -> "Tensor":
+        return sub(self, other)
+
+    def div(self, other: "Tensor") -> "Tensor":
+        return div(self, other)
+
+    def norm(self, p: int = 2, dim: int = -1, keepdim: bool = False) -> "Tensor":
+        return norm(self, p=p, dim=dim, keepdim=keepdim)
+
+    def topk(self, k: int, dim: int = -1, largest: bool = True, sorted: bool = True):
+        return topk(self, k, dim=dim, largest=largest, sorted=sorted)
+
+    def __sub__(self, other: "Tensor") -> "Tensor":
+        return sub(self, other)
+
+    def __truediv__(self, other: "Tensor") -> "Tensor":
+        return div(self, other)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return matmul(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}, kind={self.kind})"
+
+
+def tensor(data, dtype: str = "f32") -> Tensor:
+    """Create a parameter tensor from concrete data (traced as a capture)."""
+    array = np.asarray(data, dtype=np.float32 if dtype == "f32" else np.int64)
+    t = Tensor(array.shape, dtype, data=array, kind="parameter")
+    if _ACTIVE_GRAPH is not None:
+        _ACTIVE_GRAPH.parameters.append(t)
+    return t
+
+
+def _emit(
+    op: str,
+    inputs: Sequence[Tensor],
+    attrs: dict,
+    out_shapes: Sequence[Tuple[int, ...]],
+    out_dtypes: Sequence[str],
+):
+    graph = _graph()
+    for t in inputs:
+        if not isinstance(t, Tensor):
+            raise TraceError(f"{op}: expected a traced Tensor, got {type(t)}")
+        if t.kind == "parameter" and t not in graph.parameters:
+            graph.parameters.append(t)
+    node = Node(op, inputs, attrs, out_shapes, out_dtypes)
+    graph.add_node(node)
+    outs = [
+        Tensor(s, d, node=node, output_index=i)
+        for i, (s, d) in enumerate(zip(out_shapes, out_dtypes))
+    ]
+    return outs[0] if len(outs) == 1 else tuple(outs)
+
+
+# ------------------------------------------------------------ functional API
+def transpose(input: Tensor, dim0: int, dim1: int) -> Tensor:
+    """Swap two dimensions (``torch.transpose``)."""
+    shape = list(input.shape)
+    d0, d1 = dim0 % len(shape), dim1 % len(shape)
+    shape[d0], shape[d1] = shape[d1], shape[d0]
+    return _emit(
+        "transpose", [input], {"dim0": dim0, "dim1": dim1},
+        [tuple(shape)], [input.dtype],
+    )
+
+
+def matmul(lhs: Tensor, rhs: Tensor) -> Tensor:
+    """Matrix multiply (``torch.matmul``)."""
+    if lhs.shape[-1] != rhs.shape[0 if rhs.ndim == 1 else -2]:
+        raise TraceError(f"matmul shape mismatch: {lhs.shape} x {rhs.shape}")
+    shape = lhs.shape[:-1] + (rhs.shape[-1],)
+    return _emit("matmul", [lhs, rhs], {}, [shape], [lhs.dtype])
+
+
+def mm(lhs: Tensor, rhs: Tensor) -> Tensor:
+    """2-D matrix multiply (``torch.mm``)."""
+    if lhs.ndim != 2 or rhs.ndim != 2:
+        raise TraceError("mm requires 2-D tensors")
+    return matmul(lhs, rhs)
+
+
+def sub(lhs: Tensor, rhs: Tensor) -> Tensor:
+    """Elementwise broadcast subtraction."""
+    shape = _broadcast(lhs.shape, rhs.shape)
+    return _emit("sub", [lhs, rhs], {}, [shape], [lhs.dtype])
+
+
+def div(lhs: Tensor, rhs: Tensor, rhs2: Optional[Tensor] = None) -> Tensor:
+    """Elementwise broadcast division.
+
+    The optional third operand divides again (``lhs / rhs / rhs2``) —
+    the form the cosine-similarity kernel uses (paper Algorithm 1:
+    ``div(v4, v2, v1)``).
+    """
+    shape = _broadcast(lhs.shape, rhs.shape)
+    inputs = [lhs, rhs]
+    if rhs2 is not None:
+        shape = _broadcast(shape, rhs2.shape)
+        inputs.append(rhs2)
+    return _emit("div", inputs, {}, [shape], [lhs.dtype])
+
+
+def norm(
+    input: Tensor, p: int = 2, dim: int = -1, keepdim: bool = False
+) -> Tensor:
+    """Vector p-norm along ``dim`` (the paper's frontend extension)."""
+    d = dim % input.ndim
+    if keepdim:
+        shape = tuple(1 if i == d else s for i, s in enumerate(input.shape))
+    else:
+        shape = tuple(s for i, s in enumerate(input.shape) if i != d)
+    return _emit(
+        "norm", [input], {"p": p, "dim": dim, "keepdim": keepdim},
+        [shape], [input.dtype],
+    )
+
+
+def topk(
+    input: Tensor,
+    k: int,
+    dim: int = -1,
+    largest: bool = True,
+    sorted: bool = True,
+) -> Tuple[Tensor, Tensor]:
+    """Top-k values and indices (the paper's frontend extension)."""
+    d = dim % input.ndim
+    if not 1 <= k <= input.shape[d]:
+        raise TraceError(f"topk k={k} out of range for shape {input.shape}")
+    shape = tuple(k if i == d else s for i, s in enumerate(input.shape))
+    return _emit(
+        "topk", [input],
+        {"k": k, "dim": dim, "largest": largest, "sorted": sorted},
+        [shape, shape], [input.dtype, "i64"],
+    )
+
+
+def _broadcast(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    out = []
+    ra, rb = list(reversed(a)), list(reversed(b))
+    for i in range(max(len(ra), len(rb))):
+        da = ra[i] if i < len(ra) else 1
+        db = rb[i] if i < len(rb) else 1
+        if da != db and 1 not in (da, db):
+            raise TraceError(f"cannot broadcast {a} and {b}")
+        out.append(max(da, db))
+    return tuple(reversed(out))
+
+
+# -------------------------------------------------------------- torch.ops.aten
+class _Aten:
+    """The ``torch.ops.aten`` namespace used in the paper's example."""
+
+    @staticmethod
+    def topk(input: Tensor, k: int, dim: int = -1, largest: bool = True,
+             sorted: bool = True):
+        return topk(input, k, dim=dim, largest=largest, sorted=sorted)
+
+    @staticmethod
+    def norm(input: Tensor, p: int = 2, dim: int = -1, keepdim: bool = False):
+        return norm(input, p=p, dim=dim, keepdim=keepdim)
+
+
+class _Ops:
+    aten = _Aten()
+
+
+ops = _Ops()
+
+
+# ------------------------------------------------------------------- tracing
+class Module:
+    """Minimal ``nn.Module`` stand-in: subclass and define ``forward``."""
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def trace(fn, example_inputs: Sequence[Tensor]) -> Graph:
+    """Trace ``fn`` (a callable or :class:`Module`) into a :class:`Graph`.
+
+    ``example_inputs`` are shape/dtype descriptors created with
+    :func:`placeholder` (or plain numpy arrays, converted automatically).
+    Captured :func:`tensor` parameters become trailing graph parameters.
+    """
+    global _ACTIVE_GRAPH
+    graph = Graph()
+    inputs = []
+    for ex in example_inputs:
+        if isinstance(ex, Tensor):
+            ph = Tensor(ex.shape, ex.dtype, kind="placeholder")
+        else:
+            arr = np.asarray(ex)
+            dtype = "i64" if np.issubdtype(arr.dtype, np.integer) else "f32"
+            ph = Tensor(arr.shape, dtype, kind="placeholder")
+        inputs.append(ph)
+    graph.placeholders = inputs
+    previous = _ACTIVE_GRAPH
+    _ACTIVE_GRAPH = graph
+    try:
+        result = fn(*inputs)
+    finally:
+        _ACTIVE_GRAPH = previous
+    outputs = result if isinstance(result, (tuple, list)) else [result]
+    for out in outputs:
+        if not isinstance(out, Tensor):
+            raise TraceError(f"traced function returned non-Tensor: {out!r}")
+    graph.outputs = list(outputs)
+    return graph
+
+
+def placeholder(shape: Sequence[int], dtype: str = "f32") -> Tensor:
+    """A shape/dtype descriptor for :func:`trace` example inputs."""
+    return Tensor(shape, dtype, kind="placeholder")

@@ -1,0 +1,128 @@
+"""Blocks and regions: the nesting structure of the IR.
+
+A :class:`Region` belongs to an operation and holds an ordered list of
+:class:`Block`\\ s; a block holds typed arguments and an ordered list of
+operations.  This mirrors MLIR's structure and is what enables progressive
+lowering: ``cim.execute`` bodies, ``scf.for`` loops and function bodies are
+all just regions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from .types import Type
+from .value import BlockArgument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .operation import Operation
+
+
+class Block:
+    """A straight-line sequence of operations with typed arguments."""
+
+    def __init__(self, arg_types: Sequence[Type] = ()):
+        self.arguments: List[BlockArgument] = [
+            BlockArgument(self, i, t) for i, t in enumerate(arg_types)
+        ]
+        self.operations: List["Operation"] = []
+        self.parent_region: Optional["Region"] = None
+
+    # ------------------------------------------------------------ arguments
+    def add_argument(self, type: Type) -> BlockArgument:
+        """Append a new block argument of ``type`` and return it."""
+        arg = BlockArgument(self, len(self.arguments), type)
+        self.arguments.append(arg)
+        return arg
+
+    # ----------------------------------------------------------- op editing
+    def append(self, op: "Operation") -> "Operation":
+        """Add ``op`` at the end of the block."""
+        self._adopt(op)
+        self.operations.append(op)
+        return op
+
+    def insert_before(self, anchor: "Operation", op: "Operation") -> None:
+        """Insert ``op`` immediately before ``anchor`` (must be in block)."""
+        self._adopt(op)
+        self.operations.insert(self._index_of(anchor), op)
+
+    def insert_after(self, anchor: "Operation", op: "Operation") -> None:
+        """Insert ``op`` immediately after ``anchor`` (must be in block)."""
+        self._adopt(op)
+        self.operations.insert(self._index_of(anchor) + 1, op)
+
+    def _adopt(self, op: "Operation") -> None:
+        if op.parent_block is not None:
+            raise RuntimeError(
+                f"op {op.name} already belongs to a block; detach it first"
+            )
+        op.parent_block = self
+
+    def _remove(self, op: "Operation") -> None:
+        self.operations.remove(op)
+        op.parent_block = None
+
+    def _index_of(self, op: "Operation") -> int:
+        for i, o in enumerate(self.operations):
+            if o is op:
+                return i
+        raise ValueError(f"op {op.name} not in block")
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        """The operation owning the region containing this block."""
+        return None if self.parent_region is None else self.parent_region.parent_op
+
+    @property
+    def terminator(self) -> Optional["Operation"]:
+        """The trailing terminator op, if the block ends with one."""
+        if self.operations and self.operations[-1].IS_TERMINATOR:
+            return self.operations[-1]
+        return None
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block args={len(self.arguments)} ops={len(self.operations)}>"
+
+
+class Region:
+    """An ordered list of blocks owned by an operation."""
+
+    def __init__(self, parent_op: Optional["Operation"] = None):
+        self.blocks: List[Block] = []
+        self.parent_op = parent_op
+
+    def append(self, block: Block) -> Block:
+        """Add ``block`` at the end of the region."""
+        if block.parent_region is not None:
+            raise RuntimeError("block already belongs to a region")
+        block.parent_region = self
+        self.blocks.append(block)
+        return block
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> Block:
+        """The first block; raises when the region is empty."""
+        if not self.blocks:
+            raise ValueError("region has no blocks")
+        return self.blocks[0]
+
+    def __iter__(self) -> Iterable[Block]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Region blocks={len(self.blocks)}>"

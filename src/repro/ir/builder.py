@@ -1,0 +1,95 @@
+"""IR construction helper: insertion points and typed op creation."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+from .block import Block
+from .operation import Operation
+
+
+class InsertionPoint:
+    """Where newly created ops are placed: at block end or before an op."""
+
+    def __init__(self, block: Block, anchor: Optional[Operation] = None):
+        self.block = block
+        self.anchor = anchor  # insert before this op; None = append
+
+    @classmethod
+    def at_end(cls, block: Block) -> "InsertionPoint":
+        return cls(block)
+
+    @classmethod
+    def before(cls, op: Operation) -> "InsertionPoint":
+        return cls(op.parent_block, op)
+
+    @classmethod
+    def after(cls, op: Operation) -> "InsertionPoint":
+        block = op.parent_block
+        idx = block._index_of(op)
+        nxt = block.operations[idx + 1] if idx + 1 < len(block.operations) else None
+        return cls(block, nxt)
+
+    def insert(self, op: Operation) -> Operation:
+        if self.anchor is None:
+            self.block.append(op)
+        else:
+            self.block.insert_before(self.anchor, op)
+        return op
+
+
+class OpBuilder:
+    """Creates operations at a movable insertion point.
+
+    Typical usage::
+
+        builder = OpBuilder.at_end(func.body)
+        c0 = builder.create(arith.ConstantOp, value=0)
+        builder.insert(some_detached_op)
+    """
+
+    def __init__(self, insertion_point: Optional[InsertionPoint] = None):
+        self.insertion_point = insertion_point
+
+    @classmethod
+    def at_end(cls, block: Block) -> "OpBuilder":
+        return cls(InsertionPoint.at_end(block))
+
+    @classmethod
+    def before(cls, op: Operation) -> "OpBuilder":
+        return cls(InsertionPoint.before(op))
+
+    @classmethod
+    def after(cls, op: Operation) -> "OpBuilder":
+        return cls(InsertionPoint.after(op))
+
+    def set_insertion_point_to_end(self, block: Block) -> None:
+        self.insertion_point = InsertionPoint.at_end(block)
+
+    def set_insertion_point_before(self, op: Operation) -> None:
+        self.insertion_point = InsertionPoint.before(op)
+
+    def set_insertion_point_after(self, op: Operation) -> None:
+        self.insertion_point = InsertionPoint.after(op)
+
+    @contextmanager
+    def at(self, insertion_point: InsertionPoint):
+        """Temporarily move the insertion point."""
+        saved = self.insertion_point
+        self.insertion_point = insertion_point
+        try:
+            yield self
+        finally:
+            self.insertion_point = saved
+
+    def insert(self, op: Operation) -> Operation:
+        """Insert a detached, already-constructed op."""
+        if self.insertion_point is None:
+            raise RuntimeError("builder has no insertion point")
+        return self.insertion_point.insert(op)
+
+    def create(self, op_class, *args, **kwargs) -> Operation:
+        """Construct ``op_class(*args, **kwargs)`` and insert it."""
+        op = op_class(*args, **kwargs)
+        return self.insert(op)

@@ -1,0 +1,61 @@
+"""Dialect registry / context.
+
+Dialects in this project are Python modules that register op classes at
+import time.  The :class:`Context` tracks which dialects have been loaded
+and offers :func:`load_all_dialects` used by the driver and tests.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List
+
+KNOWN_DIALECTS = (
+    "builtin",
+    "func",
+    "arith",
+    "tensor",
+    "memref",
+    "scf",
+    "torch",
+    "cim",
+    "cam",
+)
+
+
+class Context:
+    """Tracks loaded dialects.  Loading is idempotent."""
+
+    def __init__(self):
+        self.loaded: Dict[str, object] = {}
+
+    def load_dialect(self, name: str):
+        """Import and register the dialect module ``repro.dialects.<name>``."""
+        if name in self.loaded:
+            return self.loaded[name]
+        if name == "builtin":
+            module = importlib.import_module("repro.ir.module")
+        else:
+            module = importlib.import_module(f"repro.dialects.{name}")
+        self.loaded[name] = module
+        return module
+
+    def load_all_dialects(self) -> List[str]:
+        """Load every dialect this project defines; returns their names."""
+        for name in KNOWN_DIALECTS:
+            self.load_dialect(name)
+        return list(self.loaded)
+
+
+_GLOBAL_CONTEXT = Context()
+
+
+def global_context() -> Context:
+    """Process-wide default context."""
+    return _GLOBAL_CONTEXT
+
+
+def load_all_dialects() -> Context:
+    """Ensure every dialect is registered; returns the global context."""
+    _GLOBAL_CONTEXT.load_all_dialects()
+    return _GLOBAL_CONTEXT

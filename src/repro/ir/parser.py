@@ -1,0 +1,343 @@
+"""Parser for the generic textual IR form produced by the printer.
+
+Supports full round-trips: ``parse_module(print_module(m))`` reconstructs an
+isomorphic module.  The grammar is the generic MLIR operation form::
+
+    op        ::= [results `=`] `"` name `"` `(` operands `)`
+                  [`(` region (`, ` region)* `)`] [attr-dict] `:` fn-type
+    region    ::= `{` block* `}`
+    block     ::= [`^` id `(` args `)` `:`] op*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .attributes import parse_attribute
+from .block import Block, Region
+from .module import ModuleOp
+from .operation import Operation, lookup_op_class
+from .types import FunctionType, Type, parse_type
+from .value import Value
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR text, with position context."""
+
+
+class _Scanner:
+    """Character-level scanner with balanced-delimiter helpers."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        snippet = self.text[self.pos : self.pos + 30].replace("\n", "\\n")
+        return ParseError(f"line {line}: {message} (at {snippet!r})")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            c = self.text[self.pos]
+            if c in " \t\n\r":
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                nl = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if nl < 0 else nl
+            else:
+                break
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def accept(self, token: str) -> bool:
+        if self.startswith(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.accept(token):
+            raise self.error(f"expected {token!r}")
+
+    def identifier(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "._-$"
+        ):
+            self.pos += 1
+        if start == self.pos:
+            raise self.error("expected identifier")
+        return self.text[start : self.pos]
+
+    def string_literal(self) -> str:
+        self.skip_ws()
+        if not self.accept('"'):
+            raise self.error("expected string literal")
+        out = []
+        while self.pos < len(self.text):
+            c = self.text[self.pos]
+            self.pos += 1
+            if c == "\\":
+                out.append(self.text[self.pos])
+                self.pos += 1
+            elif c == '"':
+                return "".join(out)
+            else:
+                out.append(c)
+        raise self.error("unterminated string literal")
+
+    def value_name(self) -> str:
+        self.skip_ws()
+        if not self.accept("%"):
+            raise self.error("expected value name")
+        return "%" + self.identifier()
+
+    def balanced(self, open_ch: str, close_ch: str) -> str:
+        """Consume ``open_ch`` ... matching ``close_ch``; return the body."""
+        self.skip_ws()
+        self.expect(open_ch)
+        depth, start, in_str = 1, self.pos, False
+        while self.pos < len(self.text):
+            c = self.text[self.pos]
+            if in_str:
+                if c == "\\":
+                    self.pos += 1
+                elif c == '"':
+                    in_str = False
+            elif c == '"':
+                in_str = True
+            elif c == open_ch:
+                depth += 1
+            elif c == close_ch:
+                depth -= 1
+                if depth == 0:
+                    body = self.text[start : self.pos]
+                    self.pos += 1
+                    return body
+            self.pos += 1
+        raise self.error(f"unbalanced {open_ch!r}")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.scanner = _Scanner(text)
+        self.values: Dict[str, Value] = {}
+
+    # ------------------------------------------------------------ top level
+    def parse_operation(self) -> Operation:
+        sc = self.scanner
+        result_names: List[str] = []
+        if sc.peek() == "%":
+            result_names.append(sc.value_name())
+            while sc.accept(","):
+                result_names.append(sc.value_name())
+            sc.expect("=")
+        name = sc.string_literal()
+        sc.expect("(")
+        operand_names: List[str] = []
+        if not sc.accept(")"):
+            operand_names.append(sc.value_name())
+            while sc.accept(","):
+                operand_names.append(sc.value_name())
+            sc.expect(")")
+        operands = [self._resolve(n) for n in operand_names]
+
+        regions: List[Region] = []
+        if sc.startswith("({") or sc.startswith("( {"):
+            sc.expect("(")
+            regions.append(self.parse_region())
+            while sc.accept(","):
+                regions.append(self.parse_region())
+            sc.expect(")")
+
+        attributes = {}
+        if sc.peek() == "{":
+            body = sc.balanced("{", "}")
+            attributes = _parse_attr_dict(body)
+
+        sc.expect(":")
+        fn_type = self._parse_signature()
+        if len(fn_type.inputs) != len(operands):
+            raise sc.error(
+                f"operand count mismatch for {name}: "
+                f"{len(operands)} operands, {len(fn_type.inputs)} types"
+            )
+        for v, t in zip(operands, fn_type.inputs):
+            if v.type != t:
+                raise sc.error(
+                    f"operand type mismatch for {name}: {v.type} != {t}"
+                )
+
+        cls = lookup_op_class(name)
+        op = Operation.__new__(cls)
+        Operation.__init__(
+            op,
+            name=name,
+            operands=operands,
+            result_types=list(fn_type.results),
+            attributes=attributes,
+            regions=0,
+        )
+        for region in regions:
+            region.parent_op = op
+            op.regions.append(region)
+        if len(result_names) != len(op.results):
+            raise sc.error(
+                f"result count mismatch for {name}: "
+                f"{len(result_names)} names, {len(op.results)} results"
+            )
+        for rname, res in zip(result_names, op.results):
+            self.values[rname] = res
+        return op
+
+    def parse_region(self) -> Region:
+        sc = self.scanner
+        sc.expect("{")
+        region = Region()
+        block = Block()
+        started = False
+        while True:
+            if sc.accept("}"):
+                if started or block.operations or region.empty:
+                    region.append(block)
+                return region
+            if sc.peek() == "^":
+                if started or block.operations:
+                    region.append(block)
+                block = self._parse_block_header()
+                started = True
+                continue
+            started = started or True
+            block.append(self.parse_operation())
+
+    def _parse_block_header(self) -> Block:
+        sc = self.scanner
+        sc.expect("^")
+        sc.identifier()
+        block = Block()
+        if sc.accept("("):
+            if not sc.accept(")"):
+                while True:
+                    vname = sc.value_name()
+                    sc.expect(":")
+                    ty = self._parse_single_type()
+                    arg = block.add_argument(ty)
+                    self.values[vname] = arg
+                    if not sc.accept(","):
+                        break
+                sc.expect(")")
+        sc.expect(":")
+        return block
+
+    # -------------------------------------------------------------- helpers
+    def _resolve(self, name: str) -> Value:
+        if name not in self.values:
+            raise self.scanner.error(f"use of undefined value {name}")
+        return self.values[name]
+
+    def _parse_signature(self) -> FunctionType:
+        sc = self.scanner
+        inputs_body = sc.balanced("(", ")")
+        inputs = (
+            [parse_type(p) for p in _split_top(inputs_body)] if inputs_body.strip() else []
+        )
+        sc.expect("->")
+        if sc.peek() == "(":
+            outs_body = sc.balanced("(", ")")
+            outputs = (
+                [parse_type(p) for p in _split_top(outs_body)]
+                if outs_body.strip()
+                else []
+            )
+        else:
+            outputs = [self._parse_single_type()]
+        return FunctionType(inputs, outputs)
+
+    def _parse_single_type(self) -> Type:
+        """Scan one type spelling (no top-level spaces) and parse it."""
+        sc = self.scanner
+        sc.skip_ws()
+        start = sc.pos
+        depth = 0
+        while sc.pos < len(sc.text):
+            c = sc.text[sc.pos]
+            if c in "<(":
+                depth += 1
+            elif c in ">)":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and c in " \t\n\r,:{}":
+                break
+            sc.pos += 1
+        text = sc.text[start : sc.pos]
+        if not text:
+            raise sc.error("expected type")
+        return parse_type(text)
+
+
+def _split_top(text: str) -> List[str]:
+    """Split comma-separated items at nesting depth zero."""
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(text):
+        if c in "<(":
+            depth += 1
+        elif c == ")" or (c == ">" and (i == 0 or text[i - 1] != "-")):
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    if text[start:].strip():
+        parts.append(text[start:])
+    return [p.strip() for p in parts]
+
+
+def _parse_attr_dict(body: str) -> Dict[str, object]:
+    """Parse ``name = attr, name = attr`` from an attribute-dict body."""
+    from .attributes import _split_commas
+
+    attrs: Dict[str, object] = {}
+    for entry in _split_commas(body):
+        if not entry.strip():
+            continue
+        if "=" not in entry:
+            raise ParseError(f"malformed attribute entry: {entry!r}")
+        key, value = entry.split("=", 1)
+        attrs[key.strip()] = _parse_attr_value(value.strip())
+    return attrs
+
+
+def _parse_attr_value(text: str):
+    """Parse an attribute value, trying attribute then type spellings."""
+    try:
+        return parse_attribute(text)
+    except ValueError:
+        from .attributes import TypeAttr
+
+        return TypeAttr(parse_type(text))
+
+
+def parse_module(text: str) -> ModuleOp:
+    """Parse textual IR whose top-level op is ``builtin.module``."""
+    parser = _Parser(text)
+    op = parser.parse_operation()
+    parser.scanner.skip_ws()
+    if parser.scanner.pos != len(parser.scanner.text):
+        raise parser.scanner.error("trailing text after module")
+    if not isinstance(op, ModuleOp):
+        raise ParseError(f"expected builtin.module, got {op.name}")
+    return op
+
+
+def parse_operation(text: str) -> Operation:
+    """Parse a single (possibly nested) operation from text."""
+    parser = _Parser(text)
+    return parser.parse_operation()

@@ -1,0 +1,55 @@
+"""IR traversal helpers shared by analyses and passes."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Type as PyType
+
+from .operation import Operation
+
+
+def walk(
+    root: Operation,
+    op_class: Optional[PyType[Operation]] = None,
+    name: Optional[str] = None,
+) -> Iterator[Operation]:
+    """Yield nested ops, optionally filtered by class and/or op name.
+
+    Iterates pre-order over a snapshot of each block, so callers may erase
+    or replace the yielded op.
+    """
+    for op in root.walk():
+        if op_class is not None and not isinstance(op, op_class):
+            continue
+        if name is not None and op.name != name:
+            continue
+        yield op
+
+
+def first(
+    root: Operation,
+    op_class: Optional[PyType[Operation]] = None,
+    name: Optional[str] = None,
+) -> Optional[Operation]:
+    """The first matching nested op, or None."""
+    for op in walk(root, op_class=op_class, name=name):
+        return op
+    return None
+
+
+def count(
+    root: Operation,
+    op_class: Optional[PyType[Operation]] = None,
+    name: Optional[str] = None,
+) -> int:
+    """Number of matching nested ops."""
+    return sum(1 for _ in walk(root, op_class=op_class, name=name))
+
+
+def parent_of_type(op: Operation, op_class: PyType[Operation]) -> Optional[Operation]:
+    """The closest ancestor operation of ``op_class``, or None."""
+    current = op.parent_op
+    while current is not None:
+        if isinstance(current, op_class):
+            return current
+        current = current.parent_op
+    return None

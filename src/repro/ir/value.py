@@ -1,0 +1,106 @@
+"""SSA values: operation results and block arguments.
+
+A :class:`Value` tracks its uses (operation + operand index pairs) so that
+rewrites can do ``replace_all_uses_with`` in O(uses) and the verifier can
+check dominance and detect dangling references.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .types import Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import Block
+    from .operation import Operation
+
+
+class Use:
+    """A single use of a value: ``owner.operands[index] is value``."""
+
+    __slots__ = ("owner", "index")
+
+    def __init__(self, owner: "Operation", index: int):
+        self.owner = owner
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Use({self.owner.name}, {self.index})"
+
+
+class Value:
+    """Base class for SSA values."""
+
+    def __init__(self, type: Type):
+        if not isinstance(type, Type):
+            raise TypeError(f"value type must be a Type, got {type!r}")
+        self.type = type
+        self.uses: List[Use] = []
+        self.name_hint: Optional[str] = None
+
+    @property
+    def has_uses(self) -> bool:
+        """True when at least one operation consumes this value."""
+        return bool(self.uses)
+
+    def users(self):
+        """Iterate over the distinct operations that use this value."""
+        seen = set()
+        for use in self.uses:
+            if id(use.owner) not in seen:
+                seen.add(id(use.owner))
+                yield use.owner
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Redirect every use of ``self`` to ``other``."""
+        if other is self:
+            return
+        for use in list(self.uses):
+            use.owner._set_operand(use.index, other)
+
+    def _add_use(self, owner: "Operation", index: int) -> Use:
+        use = Use(owner, index)
+        self.uses.append(use)
+        return use
+
+    def _remove_use(self, owner: "Operation", index: int) -> None:
+        for i, use in enumerate(self.uses):
+            if use.owner is owner and use.index == index:
+                del self.uses[i]
+                return
+        raise RuntimeError("use not found; IR use-lists are corrupt")
+
+
+class OpResult(Value):
+    """The ``index``-th result of ``op``."""
+
+    def __init__(self, op: "Operation", index: int, type: Type):
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    @property
+    def owner(self) -> "Operation":
+        """The operation producing this result."""
+        return self.op
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpResult({self.op.name}#{self.index}: {self.type})"
+
+
+class BlockArgument(Value):
+    """The ``index``-th argument of ``block``."""
+
+    def __init__(self, block: "Block", index: int, type: Type):
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    @property
+    def owner(self) -> "Block":
+        """The block owning this argument."""
+        return self.block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockArgument(#{self.index}: {self.type})"

@@ -1,0 +1,78 @@
+"""Structural IR verifier.
+
+Checks the invariants every pass may assume:
+
+* use-lists are consistent (``value.uses`` matches actual operand slots);
+* every operand is defined before use (straight-line dominance within a
+  block) or is visible from an enclosing region;
+* terminators appear only in terminal position;
+* op-specific ``verify()`` hooks pass.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .block import Block
+from .operation import Operation
+from .value import BlockArgument, OpResult, Value
+
+
+class VerificationError(ValueError):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify(op: Operation) -> None:
+    """Verify ``op`` and everything nested within it."""
+    _verify_op(op, visible=set())
+
+
+def _verify_op(op: Operation, visible: Set[int]) -> None:
+    for index, operand in enumerate(op.operands):
+        if id(operand) not in visible:
+            raise VerificationError(
+                f"operand #{index} of {op.name} is not defined in an "
+                f"enclosing scope (use before def or dangling value)"
+            )
+        _check_use_list(operand, op, index)
+    try:
+        op.verify()
+    except VerificationError:
+        raise
+    except Exception as exc:
+        raise VerificationError(f"{op.name}: {exc}") from exc
+    for region in op.regions:
+        for block in region.blocks:
+            _verify_block(block, op, visible)
+
+
+def _verify_block(block: Block, parent: Operation, visible: Set[int]) -> None:
+    scope = set(visible)
+    for arg in block.arguments:
+        if arg.block is not block:
+            raise VerificationError("block argument owner mismatch")
+        scope.add(id(arg))
+    for i, op in enumerate(block.operations):
+        if op.parent_block is not block:
+            raise VerificationError(
+                f"{op.name}: parent_block pointer is stale"
+            )
+        if op.IS_TERMINATOR and i != len(block.operations) - 1:
+            raise VerificationError(
+                f"terminator {op.name} is not the last op in its block"
+            )
+        _verify_op(op, scope)
+        for res in op.results:
+            if res.op is not op:
+                raise VerificationError(f"{op.name}: result owner mismatch")
+            scope.add(id(res))
+
+
+def _check_use_list(value: Value, op: Operation, index: int) -> None:
+    for use in value.uses:
+        if use.owner is op and use.index == index:
+            return
+    raise VerificationError(
+        f"use-list of a value consumed by {op.name}#{index} is missing "
+        f"the corresponding use entry"
+    )

@@ -1,0 +1,18 @@
+"""Pass management and pattern-rewrite infrastructure."""
+
+from .pass_manager import FunctionPass, ModulePass, Pass, PassManager
+from .rewrite import (
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+)
+
+__all__ = [
+    "FunctionPass",
+    "ModulePass",
+    "Pass",
+    "PassManager",
+    "PatternRewriter",
+    "RewritePattern",
+    "apply_patterns_greedily",
+]

@@ -1,0 +1,105 @@
+"""Passes and the pass manager.
+
+A :class:`Pass` transforms a module in place.  The :class:`PassManager`
+runs a pipeline of passes, optionally verifying the IR between passes
+(mirrors ``mlir-opt``'s behaviour) and recording per-pass statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.verifier import verify
+
+
+class PassError(RuntimeError):
+    """A pass failed; carries the pass name for diagnostics."""
+
+
+class Pass:
+    """Base class: override :meth:`run` (and optionally ``NAME``)."""
+
+    NAME: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.NAME or type(self).__name__
+
+    def run(self, module: ModuleOp) -> None:
+        raise NotImplementedError
+
+
+class ModulePass(Pass):
+    """A pass operating on the whole module (alias of :class:`Pass`)."""
+
+
+class FunctionPass(Pass):
+    """A pass applied to each ``func.func`` independently."""
+
+    def run(self, module: ModuleOp) -> None:
+        for func in list(module.functions()):
+            self.run_on_function(func)
+
+    def run_on_function(self, func: Operation) -> None:
+        raise NotImplementedError
+
+
+class LambdaPass(Pass):
+    """Wrap a plain callable as a pass (useful in tests and pipelines)."""
+
+    def __init__(self, fn: Callable[[ModuleOp], None], name: str = ""):
+        self._fn = fn
+        self.NAME = name or getattr(fn, "__name__", "lambda")
+
+    def run(self, module: ModuleOp) -> None:
+        self._fn(module)
+
+
+class PassManager:
+    """Runs a sequence of passes over a module.
+
+    Parameters
+    ----------
+    verify_each:
+        Verify the IR after every pass (default on; catching a broken
+        invariant right after the offending pass is worth the cost at the
+        IR sizes this project handles).
+    """
+
+    def __init__(self, passes: Sequence[Pass] = (), verify_each: bool = True):
+        self.passes: List[Pass] = list(passes)
+        self.verify_each = verify_each
+        self.statistics: List[dict] = []
+
+    def add(self, pass_: Pass) -> "PassManager":
+        """Append a pass; returns self for chaining."""
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: ModuleOp) -> ModuleOp:
+        """Run the pipeline; raises :class:`PassError` on failure."""
+        self.statistics.clear()
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            try:
+                pass_.run(module)
+            except Exception as exc:
+                raise PassError(f"pass {pass_.name!r} failed: {exc}") from exc
+            if self.verify_each:
+                try:
+                    verify(module)
+                except Exception as exc:
+                    raise PassError(
+                        f"IR verification failed after pass {pass_.name!r}: {exc}"
+                    ) from exc
+            self.statistics.append(
+                {"pass": pass_.name, "seconds": time.perf_counter() - start}
+            )
+        return module
+
+    def describe(self) -> str:
+        """Human-readable pipeline description."""
+        return " -> ".join(p.name for p in self.passes)

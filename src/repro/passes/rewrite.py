@@ -1,0 +1,117 @@
+"""Pattern rewriting: declarative local IR transformations.
+
+A :class:`RewritePattern` matches a single operation and, via the
+:class:`PatternRewriter`, replaces or erases it.
+:func:`apply_patterns_greedily` drives patterns to a fixed point, the same
+contract as MLIR's greedy pattern rewriter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.ir.builder import InsertionPoint, OpBuilder
+from repro.ir.operation import Operation
+from repro.ir.value import Value
+
+
+class PatternRewriter(OpBuilder):
+    """Builder handed to patterns; records whether the IR changed."""
+
+    def __init__(self, root: Operation):
+        super().__init__(InsertionPoint.before(root))
+        self.root = root
+        self.changed = False
+
+    def insert(self, op: Operation) -> Operation:
+        self.changed = True
+        return super().insert(op)
+
+    def replace_op(self, op: Operation, values: Sequence[Value]) -> None:
+        """Replace ``op``'s results with ``values`` and erase it."""
+        op.replace_with(list(values))
+        self.changed = True
+
+    def erase_op(self, op: Operation) -> None:
+        """Erase an op with unused results."""
+        op.erase()
+        self.changed = True
+
+
+class RewritePattern:
+    """Base pattern: override :meth:`match_and_rewrite`.
+
+    ``OP_NAME`` (optional) restricts the pattern to one operation name,
+    letting the driver skip non-candidates cheaply.  ``BENEFIT`` orders
+    patterns (higher first).
+    """
+
+    OP_NAME: Optional[str] = None
+    BENEFIT: int = 1
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        """Return True (and mutate via ``rewriter``) if the pattern applied."""
+        raise NotImplementedError
+
+
+def apply_patterns_greedily(
+    root: Operation,
+    patterns: Iterable[RewritePattern],
+    max_iterations: int = 64,
+) -> bool:
+    """Apply ``patterns`` repeatedly until no pattern matches.
+
+    Returns True when the IR changed.  Raises ``RuntimeError`` if a fixed
+    point is not reached within ``max_iterations`` sweeps (a looping
+    pattern is a bug worth failing loudly on).
+    """
+    pattern_list: List[RewritePattern] = sorted(
+        patterns, key=lambda p: -p.BENEFIT
+    )
+    changed_any = False
+    for _ in range(max_iterations):
+        changed = False
+        for op in list(root.walk()):
+            if op.parent_block is None and op is not root:
+                continue  # erased by an earlier pattern in this sweep
+            for pattern in pattern_list:
+                if pattern.OP_NAME is not None and op.name != pattern.OP_NAME:
+                    continue
+                rewriter = PatternRewriter(op)
+                if pattern.match_and_rewrite(op, rewriter):
+                    changed = True
+                    break
+        if not changed:
+            return changed_any
+        changed_any = True
+    raise RuntimeError(
+        f"pattern application did not converge in {max_iterations} sweeps"
+    )
+
+
+def erase_dead_ops(root: Operation, is_dead=None) -> int:
+    """Erase side-effect-free ops whose results are all unused.
+
+    Runs to a fixed point; returns the number of erased ops.
+    """
+    if is_dead is None:
+        def is_dead(op: Operation) -> bool:
+            return (
+                not op.HAS_SIDE_EFFECTS
+                and not op.IS_TERMINATOR
+                and op.results
+                and not any(r.has_uses for r in op.results)
+            )
+
+    erased_total = 0
+    while True:
+        erased = 0
+        for op in list(root.walk(post_order=True)):
+            if op is root or op.parent_block is None:
+                continue
+            if is_dead(op):
+                op.erase()
+                erased += 1
+        if not erased:
+            return erased_total
+        erased_total += erased

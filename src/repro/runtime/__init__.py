@@ -1,0 +1,6 @@
+"""Runtime: the IR interpreter and host reference semantics."""
+
+from .executor import ExecutionError, Interpreter
+from . import values
+
+__all__ = ["ExecutionError", "Interpreter", "values"]

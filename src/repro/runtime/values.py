@@ -1,0 +1,82 @@
+"""Host-side functional semantics shared by the executor.
+
+These implement the numpy reference behaviour of torch/cim compute ops —
+the "host path" of the compiler and the golden model the CAM path is
+validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def transpose(x: np.ndarray, dim0: int, dim1: int) -> np.ndarray:
+    axes = list(range(x.ndim))
+    d0, d1 = dim0 % x.ndim, dim1 % x.ndim
+    axes[d0], axes[d1] = axes[d1], axes[d0]
+    return np.transpose(x, axes)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a @ b
+
+
+def norm(x: np.ndarray, p: int, dim: int, keepdim: bool) -> np.ndarray:
+    d = dim % x.ndim
+    if p == 2:
+        out = np.sqrt((x.astype(np.float64) ** 2).sum(axis=d))
+    elif p == 1:
+        out = np.abs(x).sum(axis=d)
+    else:
+        out = (np.abs(x) ** p).sum(axis=d) ** (1.0 / p)
+    if keepdim:
+        out = np.expand_dims(out, d)
+    return out.astype(np.float32)
+
+
+def topk(
+    x: np.ndarray, k: int, dim: int, largest: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    d = dim % x.ndim
+    order = np.argsort(-x if largest else x, axis=d, kind="stable")
+    idx = np.take(order, np.arange(k), axis=d)
+    values = np.take_along_axis(x, idx, axis=d)
+    return values, idx.astype(np.int64)
+
+
+def similarity_scores(
+    metric: str, stored: np.ndarray, query: np.ndarray
+) -> np.ndarray:
+    """Q×P score matrix for a similarity metric (host reference)."""
+    stored64 = stored.astype(np.float64)
+    query64 = np.atleast_2d(query.astype(np.float64))
+    if metric == "dot":
+        return query64 @ stored64.T
+    if metric == "euclidean":
+        diff = query64[:, None, :] - stored64[None, :, :]
+        return np.sqrt((diff * diff).sum(axis=-1))
+    if metric == "cosine":
+        dots = query64 @ stored64.T
+        qn = np.linalg.norm(query64, axis=1, keepdims=True)
+        sn = np.linalg.norm(stored64, axis=1, keepdims=True)
+        denom = qn @ sn.T
+        denom[denom == 0] = 1.0
+        return dots / denom
+    raise ValueError(f"unknown similarity metric: {metric!r}")
+
+
+def similarity(
+    metric: str,
+    stored: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    largest: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference ``cim.similarity``: top-k over the score matrix."""
+    scores = similarity_scores(metric, stored, query).astype(np.float32)
+    values, indices = topk(scores, k, dim=-1, largest=largest)
+    if query.ndim == 1:
+        return values[0], indices[0]
+    return values, indices

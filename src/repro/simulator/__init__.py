@@ -1,0 +1,51 @@
+"""CAM simulator substrate: functional + latency/energy modeling."""
+
+from .analysis import (
+    UtilizationStats,
+    busy_histogram,
+    energy_shares,
+    format_report,
+    ops_by_target,
+    utilization,
+)
+from .cells import (
+    DONT_CARE,
+    compute_scores,
+    dot_similarity,
+    euclidean_sq_distance,
+    hamming_distance,
+    metric_prefers_larger,
+    quantize,
+)
+from .machine import AllocationError, CamMachine
+from .metrics import EnergyBreakdown, ExecutionReport
+from .peripherals import best_match, exact_match, priority_encode, threshold_match
+from .subarray import SubarrayState
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "DONT_CARE",
+    "UtilizationStats",
+    "busy_histogram",
+    "energy_shares",
+    "format_report",
+    "ops_by_target",
+    "utilization",
+    "AllocationError",
+    "CamMachine",
+    "EnergyBreakdown",
+    "ExecutionReport",
+    "SubarrayState",
+    "Trace",
+    "TraceEvent",
+    "best_match",
+    "compute_scores",
+    "dot_similarity",
+    "euclidean_sq_distance",
+    "exact_match",
+    "hamming_distance",
+    "metric_prefers_larger",
+    "priority_encode",
+    "quantize",
+    "threshold_match",
+]

@@ -1,0 +1,133 @@
+"""Trace and report analysis: utilization, occupancy, energy breakdowns.
+
+Utilities consumed by the ablation benchmarks and by users inspecting a
+mapping — what fraction of the machine is doing useful work, where the
+energy goes, how busy each subarray is.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.simulator.machine import CamMachine
+from repro.simulator.metrics import ExecutionReport
+from repro.simulator.trace import Trace
+
+
+@dataclass(frozen=True)
+class UtilizationStats:
+    """How much of the allocated machine a kernel actually exercises."""
+
+    subarrays_allocated: int
+    subarrays_written: int
+    rows_available: int
+    rows_occupied: int
+    cells_available: int
+    cells_occupied: int
+
+    @property
+    def row_utilization(self) -> float:
+        """Fraction of physically available rows holding patterns."""
+        if self.rows_available == 0:
+            return 0.0
+        return self.rows_occupied / self.rows_available
+
+    @property
+    def cell_utilization(self) -> float:
+        if self.cells_available == 0:
+            return 0.0
+        return self.cells_occupied / self.cells_available
+
+
+def utilization(machine: CamMachine) -> UtilizationStats:
+    """Measure array utilization — the metric cam-density optimizes."""
+    spec = machine.spec
+    written = 0
+    rows_occupied = 0
+    for sid in range(machine.subarrays_used):
+        sub = machine.subarray(sid)
+        if sub.valid_rows:
+            written += 1
+        rows_occupied += sub.valid_rows
+    rows_available = machine.subarrays_used * spec.rows
+    return UtilizationStats(
+        subarrays_allocated=machine.subarrays_used,
+        subarrays_written=written,
+        rows_available=rows_available,
+        rows_occupied=rows_occupied,
+        cells_available=rows_available * spec.cols,
+        cells_occupied=rows_occupied * spec.cols,
+    )
+
+
+def energy_shares(report: ExecutionReport) -> Dict[str, float]:
+    """Per-component share of query energy (sums to 1.0)."""
+    e = report.energy
+    total = e.query_total
+    if total <= 0:
+        return {}
+    return {
+        "search": e.search / total,
+        "read": e.read / total,
+        "merge": e.merge / total,
+        "host": e.host / total,
+        "standby": e.standby / total,
+    }
+
+
+def busy_histogram(trace: Trace, bucket_ns: float = 1.0) -> List[int]:
+    """Concurrent-operation histogram over time from a machine trace.
+
+    Bucket ``i`` counts operations in flight during
+    ``[i*bucket_ns, (i+1)*bucket_ns)``; useful for eyeballing how parallel
+    a mapping really is.
+    """
+    if not trace.events:
+        return []
+    horizon = trace.makespan()
+    n = max(1, int(horizon / bucket_ns) + 1)
+    hist = [0] * n
+    for event in trace.events:
+        first = int(event.start_ns / bucket_ns)
+        last = int(max(event.end_ns - 1e-12, event.start_ns) / bucket_ns)
+        for i in range(first, min(last, n - 1) + 1):
+            hist[i] += 1
+    return hist
+
+
+def ops_by_target(trace: Trace) -> Dict[str, int]:
+    """Operation counts per machine target (subarray/host/levels)."""
+    counts: Dict[str, int] = defaultdict(int)
+    for event in trace.events:
+        counts[event.target] += 1
+    return dict(counts)
+
+
+def format_report(report: ExecutionReport, machine: CamMachine = None) -> str:
+    """Multi-line human-readable summary of an execution."""
+    lines = [
+        f"query latency : {report.query_latency_ns:.2f} ns "
+        f"({report.queries} queries)",
+        f"setup latency : {report.setup_latency_ns:.1f} ns",
+        f"query energy  : {report.energy.query_total:.1f} pJ",
+        f"power         : {report.power_mw:.3f} mW",
+        f"EDP           : {report.edp:.3e} nJ*s",
+        f"hierarchy     : {report.banks_used} banks / {report.mats_used} "
+        f"mats / {report.arrays_used} arrays / {report.subarrays_used} "
+        f"subarrays",
+        f"searches      : {report.searches} "
+        f"(max {report.search_cycles} per subarray)",
+    ]
+    shares = energy_shares(report)
+    if shares:
+        parts = ", ".join(f"{k} {v:.0%}" for k, v in shares.items())
+        lines.append(f"energy shares : {parts}")
+    if machine is not None:
+        u = utilization(machine)
+        lines.append(
+            f"utilization   : {u.row_utilization:.1%} rows, "
+            f"area {machine.chip_area_mm2():.3f} mm^2"
+        )
+    return "\n".join(lines)

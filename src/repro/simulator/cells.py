@@ -1,0 +1,96 @@
+"""CAM cell models: encoding and distance semantics per CAM type.
+
+The cell type determines how patterns are stored and which distance the
+match lines realise (paper §II-B):
+
+* **BCAM/TCAM** — one bit per cell, bit-wise Hamming distance; TCAM adds
+  the don't-care state ``x`` that matches both 0 and 1.
+* **MCAM** — multi-bit cells; mismatch per cell is counted on the
+  discretised values (multi-state Hamming), enabling multi-bit HDC and
+  dot-product-style similarity à la iMARS.
+* **ACAM** — analog ranges per cell; a query matches a cell when it falls
+  inside the stored ``[lo, hi]`` range, the distance is how far outside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: TCAM don't-care marker in stored codes.  NaN never collides with real
+#: data (bipolar ±1 hypervectors and quantized levels are all finite).
+DONT_CARE = float("nan")
+
+
+def is_dont_care(stored: np.ndarray) -> np.ndarray:
+    """Boolean mask of don't-care cells."""
+    return np.isnan(stored)
+
+
+def quantize(data: np.ndarray, bits: int) -> np.ndarray:
+    """Uniformly quantize float data to ``2**bits`` integer levels.
+
+    The range is taken from the data itself (symmetric min/max), matching
+    the per-tensor calibration the HDC/KNN apps use.  Integer inputs are
+    clipped to the level range but otherwise preserved.
+    """
+    levels = 1 << bits
+    if np.issubdtype(data.dtype, np.integer):
+        return np.clip(data, 0, levels - 1).astype(np.int64)
+    lo, hi = float(data.min()), float(data.max())
+    if hi <= lo:
+        return np.zeros(data.shape, dtype=np.int64)
+    scaled = (data - lo) / (hi - lo) * (levels - 1)
+    return np.clip(np.rint(scaled), 0, levels - 1).astype(np.int64)
+
+
+def hamming_distance(stored: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Per-row count of mismatching cells (don't-cares never mismatch).
+
+    ``stored`` is ``R×C`` integer codes, ``query`` is length-``C``.
+    Returns a length-``R`` float vector.
+    """
+    mism = stored != query[None, :]
+    mism &= ~is_dont_care(stored)
+    return mism.sum(axis=1).astype(np.float64)
+
+
+def euclidean_sq_distance(stored: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Per-row squared Euclidean distance (ACAM/MCAM analog metric).
+
+    Don't-care cells contribute zero distance (an ACAM cell with an
+    unbounded range matches any query value).
+    """
+    diff = stored.astype(np.float64) - query.astype(np.float64)[None, :]
+    diff = np.where(is_dont_care(stored), 0.0, diff)
+    return (diff * diff).sum(axis=1)
+
+
+def dot_similarity(stored: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Per-row dot product (multi-bit similarity search).
+
+    Don't-care cells contribute nothing to the sum.
+    """
+    s = np.where(is_dont_care(stored), 0.0, stored.astype(np.float64))
+    return s @ query.astype(np.float64)
+
+
+#: metric name -> (function, True when larger score means better match)
+METRIC_FUNCTIONS = {
+    "hamming": (hamming_distance, False),
+    "euclidean": (euclidean_sq_distance, False),
+    "dot": (dot_similarity, True),
+}
+
+
+def compute_scores(metric: str, stored: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Dispatch to the metric implementation."""
+    try:
+        fn, _ = METRIC_FUNCTIONS[metric]
+    except KeyError:
+        raise ValueError(f"unknown CAM metric: {metric!r}") from None
+    return fn(stored, query)
+
+
+def metric_prefers_larger(metric: str) -> bool:
+    """True when a larger score is a better match for ``metric``."""
+    return METRIC_FUNCTIONS[metric][1]

@@ -1,0 +1,300 @@
+"""The hierarchical CAM machine (paper Fig. 2 + §IV-A2).
+
+``CamMachine`` is the simulator the lowered ``cam`` dialect calls into:
+it owns the bank/mat/array/subarray hierarchy, performs functional
+searches, and accounts latency/energy per operation using a
+:class:`~repro.arch.technology.TechnologyModel`.
+
+The machine is *passive* with respect to time: every operation returns
+its duration and the executor threads start times through the IR's loop
+structure (``scf.parallel`` joins at the max end time, ``scf.for``
+serializes) — so mapping decisions, not hard-coded formulas, produce the
+latency differences the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.arch.technology import FEFET_45NM, TechnologyModel
+
+from .cells import metric_prefers_larger
+from .metrics import EnergyBreakdown, ExecutionReport
+from .peripherals import best_match
+from .subarray import SubarrayState
+from .trace import Trace
+
+
+class AllocationError(RuntimeError):
+    """The requested allocation exceeds the machine capacity."""
+
+
+class CamMachine:
+    """A CAM accelerator instance built from an :class:`ArchSpec`."""
+
+    def __init__(
+        self,
+        spec: ArchSpec,
+        tech: TechnologyModel = FEFET_45NM,
+        trace: bool = False,
+        noise_sigma: float = 0.0,
+        noise_seed: int = 0,
+    ):
+        """``noise_sigma`` adds Gaussian sensing noise to every search's
+        match-line scores (in score units per root-column), modeling
+        device variation — the accuracy-assessment capability of the
+        paper's functional simulation (§IV-A2)."""
+        self.spec = spec
+        self.tech = tech
+        self.trace = Trace(enabled=trace)
+        self.noise_sigma = float(noise_sigma)
+        self._noise_rng = np.random.default_rng(noise_seed)
+        # Hierarchy bookkeeping: children counts per instance id.
+        self._banks: List[int] = []          # bank id -> #mats
+        self._mats: List[Tuple[int, int]] = []    # mat id -> (bank, #arrays)
+        self._arrays: List[Tuple[int, int]] = []  # array id -> (mat, #subarrays)
+        self._subarrays: Dict[int, SubarrayState] = {}
+        self._sub_parent: Dict[int, int] = {}
+        self.energy = EnergyBreakdown()
+        self.total_searches = 0
+
+    # ------------------------------------------------------------ allocation
+    def alloc_bank(self) -> int:
+        """Allocate a new bank; raises when the spec caps banks."""
+        if self.spec.banks is not None and len(self._banks) >= self.spec.banks:
+            raise AllocationError(
+                f"machine is capped at {self.spec.banks} banks"
+            )
+        self._banks.append(0)
+        return len(self._banks) - 1
+
+    def alloc_mat(self, bank: int) -> int:
+        """Allocate a mat inside ``bank``."""
+        if not 0 <= bank < len(self._banks):
+            raise AllocationError(f"no such bank: {bank}")
+        if self._banks[bank] >= self.spec.mats_per_bank:
+            raise AllocationError(
+                f"bank {bank} already has {self.spec.mats_per_bank} mats"
+            )
+        self._banks[bank] += 1
+        self._mats.append((bank, 0))
+        return len(self._mats) - 1
+
+    def alloc_array(self, mat: int) -> int:
+        """Allocate a CAM array inside ``mat``."""
+        if not 0 <= mat < len(self._mats):
+            raise AllocationError(f"no such mat: {mat}")
+        bank, arrays = self._mats[mat]
+        if arrays >= self.spec.arrays_per_mat:
+            raise AllocationError(
+                f"mat {mat} already has {self.spec.arrays_per_mat} arrays"
+            )
+        self._mats[mat] = (bank, arrays + 1)
+        self._arrays.append((mat, 0))
+        return len(self._arrays) - 1
+
+    def alloc_subarray(self, array: int) -> int:
+        """Allocate a subarray inside ``array``."""
+        if not 0 <= array < len(self._arrays):
+            raise AllocationError(f"no such array: {array}")
+        mat, subs = self._arrays[array]
+        if subs >= self.spec.subarrays_per_array:
+            raise AllocationError(
+                f"array {array} already has "
+                f"{self.spec.subarrays_per_array} subarrays"
+            )
+        self._arrays[array] = (mat, subs + 1)
+        sub_id = len(self._subarrays)
+        self._subarrays[sub_id] = SubarrayState(
+            self.spec.rows, self.spec.cols, sub_id
+        )
+        self._sub_parent[sub_id] = array
+        return sub_id
+
+    def subarray(self, sub_id: int) -> SubarrayState:
+        """The functional state of subarray ``sub_id``."""
+        return self._subarrays[sub_id]
+
+    # ------------------------------------------------------------ operations
+    def write_value(
+        self, sub_id: int, data: np.ndarray, row_offset: int = 0, at: float = 0.0
+    ) -> float:
+        """Program patterns; returns the write duration (ns)."""
+        sub = self._subarrays[sub_id]
+        rows = sub.write(data, row_offset)
+        duration = self.tech.write_latency(self.spec, rows)
+        energy = self.tech.write_energy(self.spec, rows)
+        self.energy.write += energy
+        self.trace.record(
+            "write", f"subarray:{sub_id}", at, duration, energy,
+            f"rows={rows} offset={row_offset}",
+        )
+        return duration
+
+    def search(
+        self,
+        sub_id: int,
+        query: np.ndarray,
+        search_type: str = "best",
+        metric: str = "hamming",
+        row_begin: int = 0,
+        row_count: int = -1,
+        accumulate: bool = False,
+        at: float = 0.0,
+    ) -> float:
+        """Search one subarray; returns the phase duration (ns)."""
+        sub = self._subarrays[sub_id]
+        noise = None
+        if self.noise_sigma > 0.0:
+            # ML sensing noise grows with the discharge path length (~√C).
+            scale = self.noise_sigma * np.sqrt(query.shape[-1])
+            noise = lambda n: self._noise_rng.normal(0.0, scale, size=n)
+        _scores, active_rows = sub.search(
+            query, metric, row_begin, row_count, accumulate, noise=noise
+        )
+        selective = accumulate or row_begin > 0
+        duration = self.tech.search_phase_latency(self.spec, selective)
+        energy = self.tech.search_energy(self.spec, active_rows, accumulate)
+        self.energy.search += energy
+        self.total_searches += 1
+        self.trace.record(
+            "search", f"subarray:{sub_id}", at, duration, energy,
+            f"type={search_type} metric={metric} rows={active_rows}",
+        )
+        return duration
+
+    def read(
+        self, sub_id: int, rows: int, at: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Read results of the last search: (values, indices, duration)."""
+        sub = self._subarrays[sub_id]
+        values, indices = sub.read(rows)
+        duration = self.tech.read_latency(self.spec, rows)
+        energy = self.tech.read_energy(self.spec, rows)
+        self.energy.read += energy
+        self.trace.record(
+            "read", f"subarray:{sub_id}", at, duration, energy, f"rows={rows}"
+        )
+        return values, indices, duration
+
+    def merge(self, level: str, rows: int, at: float = 0.0) -> float:
+        """Merge partial scores across one hierarchy hop; returns duration."""
+        duration = self.tech.merge_latency(level)
+        energy = self.tech.merge_energy(level, rows)
+        self.energy.merge += energy
+        self.trace.record("merge", level, at, duration, energy, f"rows={rows}")
+        return duration
+
+    def select_topk(
+        self, scores: np.ndarray, k: int, largest: bool, at: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Final top-k selection over merged scores (host peripheral)."""
+        indices, values = best_match(
+            np.asarray(scores, dtype=np.float64).reshape(-1),
+            k,
+            prefers_larger=largest,
+            wta_window=self.tech.wta_window,
+        )
+        duration = self.tech.host_topk_latency(scores.size)
+        energy = self.tech.host_topk_energy(scores.size)
+        self.energy.host += energy
+        self.trace.record("select_topk", "host", at, duration, energy, f"k={k}")
+        return values, indices, duration
+
+    def frontend_latency(self) -> float:
+        """Per-query front-end setup latency (ns)."""
+        return self.tech.frontend_latency(self.spec)
+
+    def begin_query(self) -> None:
+        """Reset per-query accumulators/latches in every subarray."""
+        for sub in self._subarrays.values():
+            sub.clear_scores()
+
+    # --------------------------------------------------------------- report
+    @property
+    def banks_used(self) -> int:
+        return len(self._banks)
+
+    @property
+    def mats_used(self) -> int:
+        return len(self._mats)
+
+    @property
+    def arrays_used(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def subarrays_used(self) -> int:
+        return len(self._subarrays)
+
+    def powered_subarrays(self) -> int:
+        """Subarrays drawing standby power.
+
+        The cam-power configurations gate all but one subarray per array
+        (that is their power-saving mechanism), so only one subarray per
+        allocated array is powered at any time.
+        """
+        if self.spec.optimization_target in ("power", "power+density"):
+            return self.arrays_used
+        return self.subarrays_used
+
+    def standby_duty(self) -> float:
+        """Fraction of the time peripherals draw standby power.
+
+        The power configurations aggressively clock-gate the periphery
+        while a serialized phase is waiting (that is the mechanism behind
+        their power savings), so standby is drawn for roughly one phase
+        out of the serialized schedule.
+        """
+        if self.spec.optimization_target not in ("power", "power+density"):
+            return 1.0
+        occupancy = max(
+            (subs for _mat, subs in self._arrays), default=1
+        )
+        return 1.0 / max(occupancy, 1)
+
+    def chip_area_mm2(self) -> float:
+        """Silicon area of the allocated hierarchy (mm²).
+
+        Iso-capacity systems are *not* iso-area: smaller subarrays need
+        more private peripheral sets (paper §IV-C2).
+        """
+        return self.tech.chip_area_mm2(
+            self.spec,
+            subarrays=self.subarrays_used,
+            arrays=self.arrays_used,
+            mats=self.mats_used,
+            banks=self.banks_used,
+        )
+
+    def finish(
+        self, query_latency_ns: float, setup_latency_ns: float = 0.0
+    ) -> ExecutionReport:
+        """Close the execution: add standby energy, emit the report."""
+        standby_mw = self.tech.standby_power(
+            self.spec,
+            subarrays=self.powered_subarrays(),
+            arrays=self.arrays_used,
+            mats=self.mats_used,
+            banks=self.banks_used,
+        )
+        standby = standby_mw * query_latency_ns * self.standby_duty()
+        energy = EnergyBreakdown(**self.energy.as_dict())
+        energy.standby += standby
+        max_cycles = max(
+            (s.searches for s in self._subarrays.values()), default=0
+        )
+        return ExecutionReport(
+            query_latency_ns=query_latency_ns,
+            setup_latency_ns=setup_latency_ns,
+            energy=energy,
+            banks_used=self.banks_used,
+            mats_used=self.mats_used,
+            arrays_used=self.arrays_used,
+            subarrays_used=self.subarrays_used,
+            searches=self.total_searches,
+            search_cycles=max_cycles,
+        )

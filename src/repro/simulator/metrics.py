@@ -1,0 +1,114 @@
+"""Execution metrics: latency, energy, power, EDP.
+
+Latency is tracked by the executor's timing model (ns); the machine
+accumulates dynamic energy (pJ) per component and computes standby energy
+from the powered-instance counts when an execution finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EnergyBreakdown:
+    """Dynamic energy per component, in pJ."""
+
+    search: float = 0.0
+    read: float = 0.0
+    merge: float = 0.0
+    host: float = 0.0
+    write: float = 0.0
+    standby: float = 0.0
+
+    @property
+    def query_total(self) -> float:
+        """Energy attributable to query execution (excludes writes)."""
+        return self.search + self.read + self.merge + self.host + self.standby
+
+    @property
+    def total(self) -> float:
+        return self.query_total + self.write
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "search": self.search,
+            "read": self.read,
+            "merge": self.merge,
+            "host": self.host,
+            "write": self.write,
+            "standby": self.standby,
+        }
+
+
+@dataclass
+class ExecutionReport:
+    """Metrics of one compiled-kernel execution (one query batch).
+
+    Latencies in ns, energies in pJ; helpers convert to derived units.
+    """
+
+    query_latency_ns: float = 0.0
+    setup_latency_ns: float = 0.0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    banks_used: int = 0
+    mats_used: int = 0
+    arrays_used: int = 0
+    subarrays_used: int = 0
+    searches: int = 0
+    search_cycles: int = 0
+    queries: int = 1
+
+    @property
+    def query_energy_pj(self) -> float:
+        """Per-execution query energy (pJ), excluding data loading."""
+        return self.energy.query_total
+
+    @property
+    def power_mw(self) -> float:
+        """Average power during query execution (mW).
+
+        pJ/ns = mW, so the ratio is direct.
+        """
+        if self.query_latency_ns <= 0:
+            return 0.0
+        return self.energy.query_total / self.query_latency_ns
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in nJ·s per query batch."""
+        return (self.energy.query_total * 1e-3) * (self.query_latency_ns * 1e-9)
+
+    def scaled(self, n_queries: int) -> "ExecutionReport":
+        """Extrapolate a single-query report to ``n_queries`` sequential
+        queries (writes are not repeated)."""
+        e = self.energy
+        return ExecutionReport(
+            query_latency_ns=self.query_latency_ns * n_queries,
+            setup_latency_ns=self.setup_latency_ns,
+            energy=EnergyBreakdown(
+                search=e.search * n_queries,
+                read=e.read * n_queries,
+                merge=e.merge * n_queries,
+                host=e.host * n_queries,
+                write=e.write,
+                standby=e.standby * n_queries,
+            ),
+            banks_used=self.banks_used,
+            mats_used=self.mats_used,
+            arrays_used=self.arrays_used,
+            subarrays_used=self.subarrays_used,
+            searches=self.searches * n_queries,
+            search_cycles=self.search_cycles,
+            queries=self.queries * n_queries,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"latency={self.query_latency_ns:.2f}ns "
+            f"energy={self.energy.query_total:.2f}pJ "
+            f"power={self.power_mw:.3f}mW "
+            f"subarrays={self.subarrays_used} banks={self.banks_used}"
+        )

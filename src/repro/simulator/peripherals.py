@@ -1,0 +1,72 @@
+"""Peripheral circuit models: sense amplifiers, encoders and selectors.
+
+These capture the *behavioural* side of the sensing circuits described in
+paper §II-B; their latency/energy cost lives in
+:class:`~repro.arch.technology.TechnologyModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def exact_match(scores: np.ndarray, prefers_larger: bool) -> np.ndarray:
+    """EX sensing: boolean match vector (distance 0 / maximal similarity).
+
+    Exact match is the cheapest scheme — a row matches when no cell
+    mismatches, i.e. Hamming/Euclidean score 0.
+    """
+    if prefers_larger:
+        if scores.size == 0:
+            return np.zeros(0, dtype=bool)
+        return scores >= scores.max()
+    return scores == 0
+
+
+def threshold_match(
+    scores: np.ndarray, threshold: float, prefers_larger: bool
+) -> np.ndarray:
+    """TH sensing: rows within a distance threshold (or above a
+    similarity threshold)."""
+    if prefers_larger:
+        return scores >= threshold
+    return scores <= threshold
+
+
+def best_match(
+    scores: np.ndarray,
+    k: int,
+    prefers_larger: bool,
+    wta_window: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """BE sensing: indices and values of the ``k`` best rows.
+
+    ``wta_window`` models the winner-take-all circuit limitation of [19]:
+    a WTA can only distinguish matches within a bounded number of
+    mismatching cells of the winner; rows outside ``winner ± window`` are
+    reported as ties of the boundary.  ``0`` means an ideal
+    (ADC-assisted) sensing chain.
+    """
+    if scores.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+    k = min(k, scores.size)
+    order = np.argsort(-scores if prefers_larger else scores, kind="stable")
+    top = order[:k]
+    values = scores[top].astype(np.float64)
+    if wta_window > 0:
+        best = scores[order[0]]
+        if prefers_larger:
+            limit = best - wta_window
+            values = np.maximum(values, limit)
+        else:
+            limit = best + wta_window
+            values = np.minimum(values, limit)
+    return top.astype(np.int64), values
+
+
+def priority_encode(match_vector: np.ndarray) -> int:
+    """Address of the first matching row, or -1 (the encoder of Fig. 1)."""
+    hits = np.flatnonzero(match_vector)
+    return int(hits[0]) if hits.size else -1

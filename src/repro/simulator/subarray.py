@@ -1,0 +1,128 @@
+"""Functional model of one CAM subarray.
+
+A subarray stores up to ``rows × cols`` cells.  Patterns are written at a
+row offset (selective-search placement stacks several pattern batches in
+one subarray); a search computes per-row match scores over a row window
+and either latches them or adds them into a local accumulator (the
+digital accumulate peripheral the cam-density mapping relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .cells import compute_scores
+
+
+class SubarrayState:
+    """Stored contents and search state of one subarray."""
+
+    def __init__(self, rows: int, cols: int, subarray_id: int):
+        self.rows = rows
+        self.cols = cols
+        self.id = subarray_id
+        self._data = np.zeros((rows, cols), dtype=np.float64)
+        self._valid = np.zeros(rows, dtype=bool)
+        # Latched scores from the most recent (non-accumulating) search
+        # or the accumulator contents, indexed by accumulator slot.
+        self._scores = np.zeros(rows, dtype=np.float64)
+        self._scored_rows = 0
+        self.writes = 0
+        self.searches = 0
+
+    # --------------------------------------------------------------- write
+    def write(self, data: np.ndarray, row_offset: int = 0) -> int:
+        """Program ``data`` (``r × c``) starting at ``row_offset``.
+
+        Returns the number of rows written.  Raises when the write falls
+        outside the physical geometry.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data[None, :]
+        r, c = data.shape
+        if row_offset < 0 or row_offset + r > self.rows:
+            raise ValueError(
+                f"write of {r} rows at offset {row_offset} exceeds "
+                f"{self.rows}-row subarray"
+            )
+        if c > self.cols:
+            raise ValueError(
+                f"write of {c} columns exceeds {self.cols}-column subarray"
+            )
+        self._data[row_offset : row_offset + r, :c] = data
+        self._valid[row_offset : row_offset + r] = True
+        self.writes += 1
+        return r
+
+    @property
+    def valid_rows(self) -> int:
+        """Number of rows holding written patterns."""
+        return int(self._valid.sum())
+
+    def stored(self, row_begin: int = 0, row_count: int = -1) -> np.ndarray:
+        """The stored pattern window (valid rows only within the window)."""
+        if row_count < 0:
+            row_count = self.rows - row_begin
+        window = self._data[row_begin : row_begin + row_count]
+        mask = self._valid[row_begin : row_begin + row_count]
+        return window[mask]
+
+    # -------------------------------------------------------------- search
+    def search(
+        self,
+        query: np.ndarray,
+        metric: str,
+        row_begin: int = 0,
+        row_count: int = -1,
+        accumulate: bool = False,
+        noise=None,
+    ) -> Tuple[np.ndarray, int]:
+        """Search ``query`` against the row window.
+
+        Returns ``(scores, active_rows)``.  With ``accumulate=True`` the
+        scores are added into accumulator slots ``0..n-1`` (used when
+        several column-slice batches are stacked in this subarray);
+        otherwise the scores are latched at their window position.
+        ``noise``, if given, is a callable ``n -> ndarray`` producing
+        additive per-row sensing noise (device variation modeling).
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] > self.cols:
+            raise ValueError(
+                f"query of width {query.shape[0]} exceeds "
+                f"{self.cols}-column subarray"
+            )
+        if row_count < 0:
+            row_count = self.rows - row_begin
+        if row_begin < 0 or row_begin + row_count > self.rows:
+            raise ValueError("search window exceeds subarray geometry")
+        mask = self._valid[row_begin : row_begin + row_count]
+        stored = self._data[row_begin : row_begin + row_count, : query.shape[0]]
+        stored = stored[mask]
+        scores = compute_scores(metric, stored, query)
+        if noise is not None and scores.size:
+            scores = scores + noise(scores.shape[0])
+        n = scores.shape[0]
+        if accumulate:
+            self._scores[:n] += scores
+            self._scored_rows = max(self._scored_rows, n)
+        else:
+            self._scores[row_begin : row_begin + n] = scores
+            self._scored_rows = max(self._scored_rows, row_begin + n)
+        self.searches += 1
+        return scores, n
+
+    def read(self, rows: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Read latched scores: ``(values, local_row_indices)``."""
+        n = self._scored_rows if rows is None else rows
+        values = self._scores[:n].copy()
+        indices = np.arange(n, dtype=np.int64)
+        return values, indices
+
+    def clear_scores(self) -> None:
+        """Reset the accumulator/latches (start of a new query)."""
+        self._scores[:] = 0.0
+        self._scored_rows = 0

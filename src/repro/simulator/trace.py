@@ -1,0 +1,63 @@
+"""Event trace: a per-operation record of what the machine executed.
+
+Useful for debugging mappings and for the ablation benches — the trace
+exposes exactly which subarrays were touched, when, and at what cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One device operation."""
+
+    op: str               # write / search / read / merge / select_topk
+    target: str           # e.g. "subarray:17" or "host"
+    start_ns: float
+    duration_ns: float
+    energy_pj: float
+    detail: str = ""
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+
+class Trace:
+    """An append-only list of trace events with simple queries."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        op: str,
+        target: str,
+        start_ns: float,
+        duration_ns: float,
+        energy_pj: float,
+        detail: str = "",
+    ) -> None:
+        if self.enabled:
+            self.events.append(
+                TraceEvent(op, target, start_ns, duration_ns, energy_pj, detail)
+            )
+
+    def by_op(self, op: str) -> List[TraceEvent]:
+        """All events of one operation kind."""
+        return [e for e in self.events if e.op == op]
+
+    def total_energy(self, op: Optional[str] = None) -> float:
+        """Total traced energy, optionally restricted to one op kind."""
+        return sum(e.energy_pj for e in self.events if op is None or e.op == op)
+
+    def makespan(self) -> float:
+        """Latest event end time (ns)."""
+        return max((e.end_ns for e in self.events), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,40 @@
+"""C4CAM transformation passes (the compiler's middle end)."""
+
+from .canonicalize import CSEPass, CanonicalizePass
+from .cim_fusion import CimFuseOpsPass
+from .cim_to_cam import CimToCamPass, LoweringError
+from .cim_to_loops import CimToLoopsPass
+from .optimizations import (
+    MappingConfig,
+    cam_search_metric,
+    resolve_optimization,
+    subarrays_required,
+)
+from .partitioning import (
+    CimPartitionPass,
+    PartitionPlan,
+    compute_partition_plan,
+    plan_of,
+)
+from .similarity_matching import SimilarityMatchingPass, match_similarity
+from .torch_to_cim import TorchToCimPass
+
+__all__ = [
+    "CSEPass",
+    "CanonicalizePass",
+    "CimFuseOpsPass",
+    "CimToLoopsPass",
+    "CimPartitionPass",
+    "CimToCamPass",
+    "LoweringError",
+    "MappingConfig",
+    "PartitionPlan",
+    "SimilarityMatchingPass",
+    "TorchToCimPass",
+    "cam_search_metric",
+    "compute_partition_plan",
+    "match_similarity",
+    "plan_of",
+    "resolve_optimization",
+    "subarrays_required",
+]

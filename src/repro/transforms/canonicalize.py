@@ -1,0 +1,129 @@
+"""Canonicalization and common-subexpression elimination.
+
+Generic cleanups that run between the main C4CAM passes:
+
+* fold ``transpose(transpose(x))`` with matching dims to ``x``
+  (torch and cim dialects);
+* fold integer arithmetic on ``arith.constant`` operands;
+* erase side-effect-free ops whose results are unused;
+* CSE: deduplicate structurally identical pure ops within a block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dialects import arith as arith_d
+from repro.ir.operation import Operation
+from repro.passes.pass_manager import ModulePass
+from repro.passes.rewrite import (
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    erase_dead_ops,
+)
+
+
+class FoldDoubleTranspose(RewritePattern):
+    """``transpose(transpose(x, a, b), a, b) -> x`` (any dialect)."""
+
+    TRANSPOSE_NAMES = ("torch.aten.transpose.int", "cim.transpose")
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if op.name not in self.TRANSPOSE_NAMES:
+            return False
+        inner = getattr(op.operands[0], "op", None)
+        if inner is None or inner.name != op.name:
+            return False
+        if (
+            op.attributes.get("dim0") != inner.attributes.get("dim0")
+            or op.attributes.get("dim1") != inner.attributes.get("dim1")
+        ):
+            return False
+        source = inner.operands[0]
+        if source.type != op.result.type:
+            return False
+        rewriter.replace_op(op, [source])
+        return True
+
+
+_FOLDABLE = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.divsi": lambda a, b: a // b if b else None,
+    "arith.remsi": lambda a, b: a % b if b else None,
+    "arith.minsi": min,
+}
+
+
+class FoldConstantArith(RewritePattern):
+    """Fold integer arithmetic whose operands are both constants."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        fold = _FOLDABLE.get(op.name)
+        if fold is None:
+            return False
+        defs = [getattr(v, "op", None) for v in op.operands]
+        if not all(isinstance(d, arith_d.ConstantOp) for d in defs):
+            return False
+        value = fold(defs[0].value, defs[1].value)
+        if value is None:
+            return False
+        folded = rewriter.create(
+            arith_d.ConstantOp, int(value), op.result.type
+        )
+        rewriter.replace_op(op, [folded.result])
+        return True
+
+
+class CanonicalizePass(ModulePass):
+    """Apply folding patterns to a fixed point, then sweep dead ops."""
+
+    NAME = "canonicalize"
+
+    def run(self, module) -> None:
+        apply_patterns_greedily(
+            module, [FoldDoubleTranspose(), FoldConstantArith()]
+        )
+        erase_dead_ops(module)
+
+
+def _cse_key(op: Operation) -> Tuple:
+    """Structural identity of a pure op (name, operands, attrs, types)."""
+    return (
+        op.name,
+        tuple(id(v) for v in op.operands),
+        tuple(sorted((k, str(v)) for k, v in op.attributes.items())),
+        tuple(str(r.type) for r in op.results),
+    )
+
+
+class CSEPass(ModulePass):
+    """Deduplicate identical side-effect-free ops within each block.
+
+    Conservative: ops with regions, side effects or terminators are never
+    merged; blocks are processed independently (no cross-block motion).
+    """
+
+    NAME = "cse"
+
+    def run(self, module) -> None:
+        for op in module.walk():
+            for region in op.regions:
+                for block in region.blocks:
+                    self._run_on_block(block)
+
+    def _run_on_block(self, block) -> None:
+        seen: Dict[Tuple, Operation] = {}
+        for op in list(block.operations):
+            if op.HAS_SIDE_EFFECTS or op.IS_TERMINATOR or op.regions:
+                continue
+            if not op.results:
+                continue
+            key = _cse_key(op)
+            original = seen.get(key)
+            if original is None:
+                seen[key] = op
+            else:
+                op.replace_with(list(original.results))

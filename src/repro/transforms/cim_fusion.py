@@ -1,0 +1,126 @@
+"""``cim-fuse-ops``: merge adjacent cim.execute blocks (paper Fig. 5b).
+
+The analysis identifies chains of acquire/execute/release triples linked
+by dataflow and fuses their bodies into one execute block on a single
+device, so the pattern matcher can recognise whole kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dialects import cim as cim_d
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation
+from repro.ir.value import Value
+from repro.passes.pass_manager import FunctionPass
+
+
+class CimFuseOpsPass(FunctionPass):
+    """Fuse producer/consumer ``cim.execute`` pairs to a fixed point."""
+
+    NAME = "cim-fuse-ops"
+
+    def run_on_function(self, func: Operation) -> None:
+        while self._fuse_one(func):
+            pass
+
+    def _fuse_one(self, func: Operation) -> bool:
+        executes = [
+            op for op in func.body.operations if isinstance(op, cim_d.ExecuteOp)
+        ]
+        for consumer in executes:
+            producer = self._fusable_producer(consumer)
+            if producer is not None:
+                _fuse(producer, consumer)
+                return True
+        return False
+
+    def _fusable_producer(
+        self, consumer: cim_d.ExecuteOp
+    ) -> Optional[cim_d.ExecuteOp]:
+        """An execute op feeding ``consumer`` whose results it exclusively uses."""
+        for value in consumer.inputs:
+            op = getattr(value, "op", None)
+            if not isinstance(op, cim_d.ExecuteOp) or op is consumer:
+                continue
+            if op.parent_block is not consumer.parent_block:
+                continue
+            # Every result of the producer must only feed the consumer —
+            # otherwise fusion would duplicate work.
+            exclusive = all(
+                user is consumer for res in op.results for user in res.users()
+            )
+            if exclusive:
+                return op
+        return None
+
+
+def _fuse(producer: cim_d.ExecuteOp, consumer: cim_d.ExecuteOp) -> None:
+    """Merge ``producer``'s body into ``consumer``; erase the producer triple.
+
+    The fused execute runs on the *consumer's* device handle (its acquire
+    dominates the consumer) and is inserted at the consumer's position, so
+    every forwarded operand still dominates its uses.
+    """
+    builder = OpBuilder.before(consumer)
+
+    # Combined inputs: producer inputs ++ consumer inputs not produced by
+    # the producer (order preserved, duplicates allowed to stay simple).
+    new_inputs: List[Value] = list(producer.inputs)
+    for v in consumer.inputs:
+        if getattr(v, "op", None) is producer:
+            continue
+        if v not in new_inputs:
+            new_inputs.append(v)
+
+    fused = builder.create(
+        cim_d.ExecuteOp,
+        consumer.device,
+        new_inputs,
+        [r.type for r in consumer.results],
+    )
+    body = OpBuilder.at_end(fused.body)
+    arg_of = {id(v): fused.body.arguments[i] for i, v in enumerate(new_inputs)}
+
+    # Inline the producer body (minus terminator).
+    prod_yield = producer.body.terminator
+    value_map = {}
+    for old_arg, v in zip(producer.body.arguments, producer.inputs):
+        value_map[old_arg] = arg_of[id(v)]
+    for op in producer.body.operations:
+        if op is not prod_yield:
+            body.insert(op.clone(value_map))
+    producer_results = [value_map.get(v, v) for v in prod_yield.operands]
+
+    # Inline the consumer body, wiring producer results into its arguments.
+    cons_yield = consumer.body.terminator
+    value_map2 = {}
+    for old_arg, v in zip(consumer.body.arguments, consumer.inputs):
+        if getattr(v, "op", None) is producer:
+            value_map2[old_arg] = producer_results[v.index]
+        else:
+            value_map2[old_arg] = arg_of[id(v)]
+    for op in consumer.body.operations:
+        if op is not cons_yield:
+            body.insert(op.clone(value_map2))
+    body.create(
+        cim_d.YieldOp, [value_map2.get(v, v) for v in cons_yield.operands]
+    )
+
+    consumer.replace_with(list(fused.results))
+    _erase_triple(producer)
+
+
+def _erase_triple(execute: cim_d.ExecuteOp) -> None:
+    """Erase an execute op and, when they become unused, its device's
+    acquire/release pair."""
+    device = execute.device
+    execute.erase()
+    for user in list(device.users()):
+        if isinstance(user, cim_d.ReleaseOp):
+            user.erase()
+    if not device.has_uses:
+        acquire = getattr(device, "op", None)
+        if acquire is not None:
+            acquire.erase()

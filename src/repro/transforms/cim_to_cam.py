@@ -1,0 +1,364 @@
+"""``cim-to-cam`` conversion + ``cam-map`` (paper §III-D2, Fig. 6).
+
+Lowers each annotated ``cim.execute { cim.similarity }`` block into:
+
+1. **bufferization** — tensors become memrefs;
+2. **a setup nest** — sequential loops over the hierarchy that allocate
+   banks/mats/arrays/subarrays and program the stored-pattern tiles
+   (``cam.alloc_*`` + ``cam.write_value``);
+3. **a query nest** — for every query: ``cam.query_start``, a search nest
+   whose per-level loop kind (``scf.parallel`` vs ``scf.for``) comes from
+   the resolved :class:`~repro.transforms.optimizations.MappingConfig`
+   (this is exactly how the power optimization serializes subarrays), a
+   parallel read/merge nest accumulating partial scores, reduction-hop
+   syncs, and the final ``cam.select_topk``.
+
+The executor's timing model turns this loop structure into latency, so
+optimization decisions manifest as performance — not as bolted-on
+formula changes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.arch.spec import ArchSpec
+from repro.dialects import arith as arith_d
+from repro.dialects import cam as cam_d
+from repro.dialects import cim as cim_d
+from repro.dialects import memref as memref_d
+from repro.dialects import scf as scf_d
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation
+from repro.ir.types import MemRefType, TensorType, f32, i64, index
+from repro.ir.value import BlockArgument, Value
+from repro.passes.pass_manager import FunctionPass
+
+from .optimizations import MappingConfig, cam_search_metric, resolve_optimization
+from .partitioning import PartitionPlan, plan_of
+
+
+class LoweringError(RuntimeError):
+    """The kernel cannot be mapped onto the given architecture."""
+
+
+class CimToCamPass(FunctionPass):
+    """Lower annotated similarity executes to the cam dialect."""
+
+    NAME = "cim-to-cam"
+
+    def __init__(self, spec: ArchSpec, config: Optional[MappingConfig] = None):
+        self.spec = spec
+        self.config = config or resolve_optimization(spec)
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.body.operations):
+            if isinstance(op, cim_d.ExecuteOp) and _is_similarity_block(op):
+                _lower_execute(op, self.spec, self.config)
+
+
+def _is_similarity_block(execute: cim_d.ExecuteOp) -> bool:
+    body = execute.body.operations
+    return len(body) == 2 and isinstance(body[0], cim_d.SimilarityOp)
+
+
+def _outer_value(execute: cim_d.ExecuteOp, inner: Value) -> Value:
+    """Map a body block argument back to the outer operand."""
+    if not isinstance(inner, BlockArgument):
+        raise LoweringError("similarity operand is not a block argument")
+    return execute.inputs[inner.index]
+
+
+class _Emitter:
+    """Shared state while emitting the nest for one execute op."""
+
+    def __init__(self, builder: OpBuilder, spec: ArchSpec, plan: PartitionPlan):
+        self.b = builder
+        self.spec = spec
+        self.plan = plan
+        # All constants are inserted before this anchor op so that they
+        # dominate every loop emitted afterwards, regardless of when a
+        # constant is first requested.
+        anchor = builder.create(arith_d.ConstantOp, 0, index)
+        self._consts = {0: anchor.result}
+        self._anchor = anchor
+
+    def const(self, value: int) -> Value:
+        """A cached ``arith.constant`` index value."""
+        if value not in self._consts:
+            op = OpBuilder.before(self._anchor).create(
+                arith_d.ConstantOp, value, index
+            )
+            self._consts[value] = op.result
+        return self._consts[value]
+
+    def loop(self, builder: OpBuilder, count: int, parallel: bool):
+        """Emit a 0..count loop; returns (loop_op, body_builder, iv)."""
+        cls = scf_d.ParallelOp if parallel else scf_d.ForOp
+        loop = builder.create(
+            cls, self.const(0), self.const(count), self.const(1)
+        )
+        inner = OpBuilder.at_end(loop.body)
+        return loop, inner, loop.induction_var
+
+    def guarded(self, builder: OpBuilder, lhs: Value, bound: int):
+        """Emit ``scf.if lhs < bound``; returns the then-block builder."""
+        cond = builder.create(
+            arith_d.CmpIOp, "slt", lhs, self.const(bound)
+        )
+        if_op = builder.create(scf_d.IfOp, cond.result)
+        return OpBuilder.at_end(if_op.then_block)
+
+    def muladd(self, builder: OpBuilder, a: Value, m: int, c: Value) -> Value:
+        """``a * m + c`` on index values."""
+        mul = builder.create(arith_d.MulIOp, a, self.const(m))
+        return builder.create(arith_d.AddIOp, mul.result, c).result
+
+    def mul(self, builder: OpBuilder, a: Value, m: int) -> Value:
+        return builder.create(arith_d.MulIOp, a, self.const(m)).result
+
+
+def _lower_execute(
+    execute: cim_d.ExecuteOp, spec: ArchSpec, config: MappingConfig
+) -> None:
+    sim: cim_d.SimilarityOp = execute.body.operations[0]
+    plan = plan_of(sim)
+    _check_divisibility(plan)
+
+    stored = _outer_value(execute, sim.stored)
+    query = _outer_value(execute, sim.query)
+    metric, flip = cam_search_metric(sim.metric, spec)
+    largest = sim.largest if not flip else not sim.largest
+    k = sim.k
+
+    n_sub = plan.subarrays
+    banks = spec.banks_needed(n_sub)
+    if spec.banks is not None and banks > spec.banks:
+        raise LoweringError(
+            f"kernel needs {banks} banks but the spec caps at {spec.banks}"
+        )
+
+    b = OpBuilder.before(execute)
+    em = _Emitter(b, spec, plan)
+
+    # ------------------------------------------------------- bufferization
+    stored_buf = b.create(memref_d.ToMemrefOp, stored).result
+    query_2d = query.type.rank == 2
+    query_buf = b.create(memref_d.ToMemrefOp, query).result
+    scores_buf = b.create(
+        memref_d.AllocOp, MemRefType([plan.patterns], f32)
+    ).result
+    values_buf = b.create(
+        memref_d.AllocOp, MemRefType([plan.queries, k], f32)
+    ).result
+    indices_buf = b.create(
+        memref_d.AllocOp, MemRefType([plan.queries, k], i64)
+    ).result
+
+    # --------------------------------------------------------- setup nest
+    _emit_setup_nest(em, b, stored_buf, banks, n_sub)
+
+    # --------------------------------------------------------- query nest
+    qloop, qb, q_iv = em.loop(b, plan.queries, parallel=False)
+    qb.create(cam_d.QueryStartOp)
+    qb.create(memref_d.FillOp, scores_buf, 0.0)
+    _emit_search_nest(em, qb, query_buf, q_iv, query_2d, banks, n_sub,
+                      metric, config)
+    _emit_read_merge_nest(em, qb, scores_buf, banks, n_sub)
+    for level in ("array", "mat", "bank"):
+        qb.create(cam_d.SyncOp, level, rows=plan.patterns)
+    vslice = qb.create(
+        memref_d.SubviewOp, values_buf,
+        offsets=[-1, 0], sizes=[1, k], offset_operands=[q_iv],
+    ).result
+    islice = qb.create(
+        memref_d.SubviewOp, indices_buf,
+        offsets=[-1, 0], sizes=[1, k], offset_operands=[q_iv],
+    ).result
+    qb.create(cam_d.SelectTopkOp, scores_buf, k, largest, vslice, islice)
+
+    # ------------------------------------------------------------- results
+    results = []
+    for res, buf in zip(execute.results, (values_buf, indices_buf)):
+        results.append(b.create(memref_d.ToTensorOp, buf, res.type).result)
+    device = execute.device
+    execute.replace_with(results)
+    for user in list(device.users()):
+        if isinstance(user, cim_d.ReleaseOp):
+            user.erase()
+    if not device.has_uses:
+        acquire = getattr(device, "op", None)
+        if acquire is not None:
+            acquire.erase()
+
+
+def _check_divisibility(plan: PartitionPlan) -> None:
+    if plan.features % plan.col_tile != 0:
+        raise LoweringError(
+            f"feature dimension {plan.features} is not a multiple of the "
+            f"subarray width {plan.col_tile}; pad the stored patterns "
+            f"(see repro.apps.datasets.pad_features)"
+        )
+
+
+def _hierarchy_loops(em: _Emitter, builder: OpBuilder, banks: int,
+                     modes) -> tuple:
+    """Emit bank→mat→array→subarray loops; returns (innermost builder, lin).
+
+    ``modes`` maps level name to parallel/sequential.
+    """
+    spec = em.spec
+    _, bb, bk = em.loop(builder, banks, modes["bank"] == "parallel")
+    _, mb, mt = em.loop(bb, spec.mats_per_bank, modes["mat"] == "parallel")
+    mat_lin = em.muladd(mb, bk, spec.mats_per_bank, mt)
+    _, ab, ar = em.loop(mb, spec.arrays_per_mat, modes["array"] == "parallel")
+    arr_lin = em.muladd(ab, mat_lin, spec.arrays_per_mat, ar)
+    _, sb, su = em.loop(
+        ab, spec.subarrays_per_array, modes["subarray"] == "parallel"
+    )
+    lin = em.muladd(sb, arr_lin, spec.subarrays_per_array, su)
+    return sb, lin
+
+
+def _emit_setup_nest(
+    em: _Emitter, b: OpBuilder, stored_buf: Value, banks: int, n_sub: int
+) -> None:
+    """Sequential allocation + write nest (executed once, off the query
+    clock)."""
+    spec, plan = em.spec, em.plan
+    seq = {level: "sequential" for level in ("bank", "mat", "array", "subarray")}
+    _, bb, bk = em.loop(b, banks, parallel=False)
+    bank_id = bb.create(
+        cam_d.AllocBankOp, em.const(spec.rows), em.const(spec.cols)
+    ).result
+    _, mb, mt = em.loop(bb, spec.mats_per_bank, parallel=False)
+    mat_lin = em.muladd(mb, bk, spec.mats_per_bank, mt)
+    # Guard: allocate the mat only when its first subarray index is used.
+    mat_guard = em.guarded(
+        mb, em.mul(mb, mat_lin, spec.subarrays_per_mat), n_sub
+    )
+    mat_id = mat_guard.create(cam_d.AllocMatOp, bank_id).result
+    _, ab, ar = em.loop(mat_guard, spec.arrays_per_mat, parallel=False)
+    arr_lin = em.muladd(ab, mat_lin, spec.arrays_per_mat, ar)
+    arr_guard = em.guarded(
+        ab, em.mul(ab, arr_lin, spec.subarrays_per_array), n_sub
+    )
+    array_id = arr_guard.create(cam_d.AllocArrayOp, mat_id).result
+    _, sb, su = em.loop(arr_guard, spec.subarrays_per_array, parallel=False)
+    lin = em.muladd(sb, arr_lin, spec.subarrays_per_array, su)
+    sub_guard = em.guarded(sb, lin, n_sub)
+    sub_id = sub_guard.create(cam_d.AllocSubarrayOp, array_id).result
+
+    for batch in range(plan.batches):
+        _emit_tile_write(em, sub_guard, stored_buf, sub_id, lin, batch)
+
+
+def _emit_tile_write(
+    em: _Emitter,
+    builder: OpBuilder,
+    stored_buf: Value,
+    sub_id: Value,
+    lin: Value,
+    batch: int,
+) -> None:
+    """Write the (lin, batch) tile of the stored patterns, if it exists."""
+    plan = em.plan
+    if plan.batches > 1:
+        # Column tile cp = lin * batches + batch; row part is 0.
+        cp = em.muladd(builder, lin, plan.batches, em.const(batch))
+        g = em.guarded(builder, cp, plan.col_tiles)
+        row_off = em.const(0)
+    else:
+        g = em.guarded(builder, lin, plan.total_tiles)
+        cp = g.create(
+            arith_d.RemSIOp, lin, em.const(plan.col_tiles)
+        ).result
+        row_off_tiles = g.create(
+            arith_d.DivSIOp, lin, em.const(plan.col_tiles)
+        ).result
+        row_off = em.mul(g, row_off_tiles, plan.row_tile)
+    col_off = em.mul(g, cp, plan.col_tile)
+    rows = min(plan.row_tile, plan.patterns)
+    slice_ = g.create(
+        memref_d.SubviewOp, stored_buf,
+        offsets=[-1, -1], sizes=[rows, plan.col_tile],
+        offset_operands=[row_off, col_off],
+    ).result
+    g.create(
+        cam_d.WriteValueOp, sub_id, slice_,
+        row_offset=batch * plan.patterns if plan.batches > 1 else 0,
+    )
+
+
+def _emit_search_nest(
+    em: _Emitter,
+    qb: OpBuilder,
+    query_buf: Value,
+    q_iv: Value,
+    query_2d: bool,
+    banks: int,
+    n_sub: int,
+    metric: str,
+    config: MappingConfig,
+) -> None:
+    plan = em.plan
+    sb, lin = _hierarchy_loops(em, qb, banks, config.modes)
+    g = em.guarded(sb, lin, n_sub)
+    sub_id = g.create(cam_d.SubarrayRefOp, lin).result
+    for batch in range(plan.batches):
+        if plan.batches > 1:
+            cp = em.muladd(g, lin, plan.batches, em.const(batch))
+            bg = em.guarded(g, cp, plan.col_tiles)
+        else:
+            bg = g
+            cp = bg.create(
+                arith_d.RemSIOp, lin, em.const(plan.col_tiles)
+            ).result
+        col_off = em.mul(bg, cp, plan.col_tile)
+        if query_2d:
+            qslice = bg.create(
+                memref_d.SubviewOp, query_buf,
+                offsets=[-1, -1], sizes=[1, plan.col_tile],
+                offset_operands=[q_iv, col_off],
+            ).result
+        else:
+            qslice = bg.create(
+                memref_d.SubviewOp, query_buf,
+                offsets=[-1], sizes=[plan.col_tile],
+                offset_operands=[col_off],
+            ).result
+        bg.create(
+            cam_d.SearchOp, sub_id, qslice,
+            search_type="best", metric=metric,
+            row_begin=batch * plan.patterns if plan.batches > 1 else 0,
+            row_count=plan.row_tile if plan.batches == 1 else plan.patterns,
+            accumulate=plan.batches > 1,
+        )
+
+
+def _emit_read_merge_nest(
+    em: _Emitter, qb: OpBuilder, scores_buf: Value, banks: int, n_sub: int
+) -> None:
+    """Read per-subarray partials and merge them into the score buffer.
+
+    Readout shares the hierarchy's result buses and is pipelined with the
+    reduction network, so this nest is always parallel.
+    """
+    plan = em.plan
+    modes = {lv: "parallel" for lv in ("bank", "mat", "array", "subarray")}
+    sb, lin = _hierarchy_loops(em, qb, banks, modes)
+    g = em.guarded(sb, lin, n_sub)
+    sub_id = g.create(cam_d.SubarrayRefOp, lin).result
+    rows = plan.row_tile if plan.batches == 1 else plan.patterns
+    read = g.create(cam_d.ReadOp, sub_id, rows, f32)
+    if plan.batches > 1 or plan.row_tiles == 1:
+        row_off = em.const(0)
+    else:
+        rp = g.create(arith_d.DivSIOp, lin, em.const(plan.col_tiles)).result
+        row_off = em.mul(g, rp, plan.row_tile)
+    g.create(
+        cam_d.MergePartialOp, scores_buf, read.results[0],
+        direction="horizontal", level="subarray",
+        row_offset_value=row_off,
+    )

@@ -1,0 +1,243 @@
+"""``cim-to-loops``: the host fallback lowering (paper Fig. 3, right path).
+
+Execute blocks that are *not* offloaded to a CAM (no similarity pattern, or
+no device available) are lowered to plain ``scf.for`` loop nests over
+memrefs with ``arith`` scalar ops — the "lower to loops, and optimize" box
+of the paper's overview figure.  The resulting IR contains no torch/cim
+ops and runs on the host executor.
+
+Supported compute ops: ``cim.transpose`` (2-D), ``cim.matmul``,
+``cim.sub`` / ``cim.div`` (2-D with optional rank-1/row broadcast),
+``cim.norm`` (p=2 along the last dim).  Blocks containing anything else
+are left untouched (they still execute on the host reference path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dialects import arith as arith_d
+from repro.dialects import cim as cim_d
+from repro.dialects import memref as memref_d
+from repro.dialects import scf as scf_d
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation
+from repro.ir.types import MemRefType, TensorType, f32
+from repro.ir.value import BlockArgument, Value
+from repro.passes.pass_manager import FunctionPass
+
+LOWERABLE = ("cim.transpose", "cim.matmul", "cim.sub", "cim.div", "cim.norm")
+
+
+class CimToLoopsPass(FunctionPass):
+    """Lower loop-lowerable cim.execute blocks to scf loop nests."""
+
+    NAME = "cim-to-loops"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.body.operations):
+            if isinstance(op, cim_d.ExecuteOp) and _is_lowerable(op):
+                _lower_execute(op)
+
+
+def _is_lowerable(execute: cim_d.ExecuteOp) -> bool:
+    body = execute.body.operations
+    return all(
+        o.name in LOWERABLE or o.name == "cim.yield" for o in body
+    ) and len(body) > 1
+
+
+class _LoopEmitter:
+    """Emits loop nests; caches index constants before an anchor."""
+
+    def __init__(self, builder: OpBuilder):
+        self.b = builder
+        anchor = builder.create(arith_d.ConstantOp, 0)
+        self._consts = {0: anchor.result}
+        self._anchor = anchor
+
+    def const(self, v: int) -> Value:
+        if v not in self._consts:
+            self._consts[v] = OpBuilder.before(self._anchor).create(
+                arith_d.ConstantOp, v
+            ).result
+        return self._consts[v]
+
+
+def _lower_execute(execute: cim_d.ExecuteOp) -> None:
+    builder = OpBuilder.before(execute)
+    em = _LoopEmitter(builder)
+
+    # Bufferize the inputs once.
+    buffers: Dict[int, Value] = {}
+    for arg, outer in zip(execute.body.arguments, execute.inputs):
+        if isinstance(outer.type, TensorType):
+            buffers[id(arg)] = builder.create(
+                memref_d.ToMemrefOp, outer
+            ).result
+
+    yld = execute.body.terminator
+    for op in execute.body.operations:
+        if op is yld:
+            break
+        out_buf = _lower_op(em, builder, op, buffers)
+        for res in op.results:
+            buffers[id(res)] = out_buf
+
+    results = []
+    for res_outer, res_inner in zip(execute.results, yld.operands):
+        buf = buffers[id(res_inner)]
+        results.append(
+            builder.create(memref_d.ToTensorOp, buf, res_outer.type).result
+        )
+    device = execute.device
+    execute.replace_with(results)
+    for user in list(device.users()):
+        if isinstance(user, cim_d.ReleaseOp):
+            user.erase()
+    if not device.has_uses:
+        acquire = getattr(device, "op", None)
+        if acquire is not None:
+            acquire.erase()
+
+
+def _buf(buffers: Dict[int, Value], value: Value) -> Value:
+    try:
+        return buffers[id(value)]
+    except KeyError:
+        raise RuntimeError(
+            "cim-to-loops: operand does not come from the block inputs or "
+            "an earlier lowered op"
+        ) from None
+
+
+def _alloc(builder: OpBuilder, shape) -> Value:
+    return builder.create(memref_d.AllocOp, MemRefType(list(shape), f32)).result
+
+
+def _lower_op(
+    em: _LoopEmitter, builder: OpBuilder, op: Operation, buffers
+) -> Value:
+    if op.name == "cim.transpose":
+        return _lower_transpose(em, builder, op, buffers)
+    if op.name == "cim.matmul":
+        return _lower_matmul(em, builder, op, buffers)
+    if op.name in ("cim.sub", "cim.div"):
+        return _lower_elementwise(em, builder, op, buffers)
+    if op.name == "cim.norm":
+        return _lower_norm(em, builder, op, buffers)
+    raise RuntimeError(f"cim-to-loops: unsupported op {op.name}")
+
+
+def _nest(em: _LoopEmitter, builder: OpBuilder, bounds: List[int]):
+    """A perfect scf.for nest; returns (innermost builder, [ivs])."""
+    ivs: List[Value] = []
+    current = builder
+    for bound in bounds:
+        loop = current.create(
+            scf_d.ForOp, em.const(0), em.const(bound), em.const(1)
+        )
+        body = OpBuilder.at_end(loop.body)
+        ivs.append(loop.induction_var)
+        yield_op = body.create(scf_d.YieldOp, [])
+        current = OpBuilder.before(yield_op)
+    return current, ivs
+
+
+def _lower_transpose(em, builder, op, buffers) -> Value:  # noqa: F811
+    src = _buf(buffers, op.operands[0])
+    rows, cols = op.operands[0].type.shape
+    out = _alloc(builder, (cols, rows))
+    inner, (i, j) = _nest(em, builder, [rows, cols])
+    v = inner.create(memref_d.LoadOp, src, [i, j])
+    inner.create(memref_d.StoreOp, v.result, out, [j, i])
+    return out
+
+
+def _lower_matmul(em, builder, op, buffers) -> Value:
+    lhs = _buf(buffers, op.operands[0])
+    rhs = _buf(buffers, op.operands[1])
+    m, k = op.operands[0].type.shape
+    _k, n = op.operands[1].type.shape
+    out = _alloc(builder, (m, n))
+    builder.create(memref_d.FillOp, out, 0.0)
+    inner, (i, j, kk) = _nest(em, builder, [m, n, k])
+    a = inner.create(memref_d.LoadOp, lhs, [i, kk])
+    bv = inner.create(memref_d.LoadOp, rhs, [kk, j])
+    prod = inner.create(arith_d.MulFOp, a.result, bv.result)
+    acc = inner.create(memref_d.LoadOp, out, [i, j])
+    new = inner.create(arith_d.AddFOp, acc.result, prod.result)
+    inner.create(memref_d.StoreOp, new.result, out, [i, j])
+    return out
+
+
+def _lower_elementwise(em, builder, op, buffers) -> Value:
+    lhs_v, rhs_v = op.operands[0], op.operands[1]
+    out_shape = op.result.type.shape
+    lhs = _buf(buffers, lhs_v)
+    rhs = _buf(buffers, rhs_v)
+    out = _alloc(builder, out_shape)
+    scalar_cls = arith_d.SubFOp if op.name == "cim.sub" else arith_d.DivFOp
+    if len(out_shape) == 1:
+        inner, (i,) = _nest(em, builder, [out_shape[0]])
+        a = inner.create(memref_d.LoadOp, lhs, _bcast_idx(lhs_v, [i], em))
+        b = inner.create(memref_d.LoadOp, rhs, _bcast_idx(rhs_v, [i], em))
+        r = inner.create(scalar_cls, a.result, b.result)
+        inner.create(memref_d.StoreOp, r.result, out, [i])
+        return out
+    rows, cols = out_shape
+    inner, (i, j) = _nest(em, builder, [rows, cols])
+    a = inner.create(memref_d.LoadOp, lhs, _bcast_idx(lhs_v, [i, j], em))
+    b = inner.create(memref_d.LoadOp, rhs, _bcast_idx(rhs_v, [i, j], em))
+    r = inner.create(scalar_cls, a.result, b.result)
+    inner.create(memref_d.StoreOp, r.result, out, [i, j])
+    return out
+
+
+def _bcast_idx(value: Value, ivs: List[Value], em: _LoopEmitter) -> List[Value]:
+    """Indices into ``value`` for an output index, numpy broadcast rules."""
+    shape = value.type.shape
+    idx: List[Value] = []
+    for dim, iv in zip(
+        range(len(shape)), ivs[len(ivs) - len(shape):]
+    ):
+        idx.append(em.const(0) if shape[dim] == 1 else iv)
+    return idx
+
+
+def _lower_norm(em, builder, op, buffers) -> Value:
+    src_v = op.operands[0]
+    src = _buf(buffers, src_v)
+    p = op.attributes["p"].value
+    if p != 2:
+        raise RuntimeError("cim-to-loops lowers only the 2-norm")
+    shape = src_v.type.shape
+    if len(shape) == 1:
+        out = _alloc(builder, (1,))
+        builder.create(memref_d.FillOp, out, 0.0)
+        inner, (i,) = _nest(em, builder, [shape[0]])
+        v = inner.create(memref_d.LoadOp, src, [i])
+        sq = inner.create(arith_d.MulFOp, v.result, v.result)
+        acc = inner.create(memref_d.LoadOp, out, [em.const(0)])
+        s = inner.create(arith_d.AddFOp, acc.result, sq.result)
+        inner.create(memref_d.StoreOp, s.result, out, [em.const(0)])
+        _sqrt_inplace(em, builder, out, [1])
+        return out
+    rows, cols = shape
+    out = _alloc(builder, (rows,))
+    builder.create(memref_d.FillOp, out, 0.0)
+    inner, (i, j) = _nest(em, builder, [rows, cols])
+    v = inner.create(memref_d.LoadOp, src, [i, j])
+    sq = inner.create(arith_d.MulFOp, v.result, v.result)
+    acc = inner.create(memref_d.LoadOp, out, [i])
+    s = inner.create(arith_d.AddFOp, acc.result, sq.result)
+    inner.create(memref_d.StoreOp, s.result, out, [i])
+    _sqrt_inplace(em, builder, out, [rows])
+    return out
+
+
+def _sqrt_inplace(em, builder, buf: Value, shape: List[int]) -> None:
+    inner, (i,) = _nest(em, builder, [shape[0]])
+    v = inner.create(memref_d.LoadOp, buf, [i])
+    r = inner.create(arith_d.SqrtOp, v.result)
+    inner.create(memref_d.StoreOp, r.result, buf, [i])

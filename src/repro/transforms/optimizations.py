@@ -1,0 +1,81 @@
+"""Built-in optimization configurations (paper §III-D2 and §IV-C).
+
+C4CAM tunes the mapping for one of four targets:
+
+* **latency** (*cam-base*): maximize parallel-executing subarrays —
+  every hierarchy level runs in parallel;
+* **power** (*cam-power*): enable only one subarray per array at a time —
+  the subarray loop serializes, trading latency for lower peak power;
+* **density** (*cam-density*): selective row search stacks several column
+  tiles per subarray, reducing the subarrays (and banks) required
+  (Table I) at the cost of sequential batch cycles;
+* **power+density**: both of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.spec import LEVELS, ArchSpec
+
+from .partitioning import PartitionPlan, compute_partition_plan
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """Resolved mapping knobs for the cam-map pass."""
+
+    modes: Dict[str, str]   # hierarchy level -> parallel | sequential
+    use_density: bool
+
+    def mode(self, level: str) -> str:
+        return self.modes[level]
+
+
+def resolve_optimization(spec: ArchSpec) -> MappingConfig:
+    """Translate a spec's optimization target into mapping knobs.
+
+    Starts from the spec's per-level access modes; the power targets force
+    the subarray level to sequential (one active subarray per array).
+    """
+    modes = {level: spec.mode(level) for level in LEVELS}
+    target = spec.optimization_target
+    if target in ("power", "power+density"):
+        modes["subarray"] = "sequential"
+    use_density = target in ("density", "power+density")
+    return MappingConfig(modes=modes, use_density=use_density)
+
+
+def subarrays_required(
+    patterns: int, features: int, spec: ArchSpec, use_density: bool
+) -> int:
+    """Subarray count for a similarity kernel (reproduces Table I)."""
+    plan = compute_partition_plan(patterns, features, 1, spec, use_density)
+    return plan.subarrays
+
+
+def cam_search_metric(cim_metric: str, spec: ArchSpec) -> tuple:
+    """Map a cim similarity metric to the device search metric.
+
+    Returns ``(metric, flip_order)``.  Binary/ternary CAMs realise a
+    bit-wise Hamming distance; for binary-encoded data both dot product
+    (descending) and Euclidean distance (ascending) rank identically to
+    Hamming distance (ascending), so the compiler substitutes ``hamming``
+    and flips the selection order where needed.  Multi-bit and analog
+    CAMs support dot/euclidean natively.
+    """
+    if spec.cam_type in ("bcam", "tcam"):
+        if cim_metric == "dot":
+            return "hamming", True   # dot largest <-> hamming smallest
+        if cim_metric in ("euclidean", "cosine"):
+            return "hamming", False
+        raise ValueError(f"unsupported metric for {spec.cam_type}: {cim_metric}")
+    if spec.cam_type == "mcam":
+        if cim_metric in ("dot", "cosine"):
+            return "dot", False
+        return "euclidean", False
+    # acam
+    if cim_metric == "dot":
+        return "dot", False
+    return "euclidean", False

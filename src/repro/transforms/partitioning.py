@@ -1,0 +1,164 @@
+"""Compulsory partitioning (paper §III-D1, Fig. 5d).
+
+Kernels usually exceed one subarray, so the similarity operation is tiled
+to the subarray granularity: the feature dimension splits into column
+tiles of ``cols`` and the pattern set into row tiles of at most ``rows``.
+Partial scores from column tiles are accumulated *horizontally*; disjoint
+row tiles concatenate *vertically* (``cim.merge_partial`` directions).
+
+With the **density** optimization (selective search [27]), several column
+tiles stack at different row offsets of one subarray — ``batches`` per
+subarray — reproducing the capacity gains of paper Table I.
+
+The pass records the plan as attributes on each ``cim.similarity`` op;
+the ``cim-to-cam`` mapping consumes the plan when it rebuilds the loop
+nest against the concrete hierarchy (paper: "the original program
+underwent partitioning at the CIM dialect without considering the
+hierarchy... To map an application onto the CAM abstraction, the cam-map
+pass ... transforms the application into a nested loop structure").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.spec import ArchSpec
+from repro.dialects import cim as cim_d
+from repro.ir.operation import Operation
+from repro.passes.pass_manager import FunctionPass
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How one similarity kernel tiles onto subarrays.
+
+    ``patterns``/``features`` describe the stored matrix (``P×D``);
+    ``queries`` the number of query rows.  ``row_tile × col_tile`` is the
+    per-subarray tile, ``batches`` the column tiles stacked per subarray
+    (1 without the density optimization).
+    """
+
+    patterns: int
+    features: int
+    queries: int
+    rows: int
+    cols: int
+    row_tile: int
+    col_tile: int
+    row_tiles: int
+    col_tiles: int
+    batches: int
+
+    @property
+    def total_tiles(self) -> int:
+        """Number of ``row_tile × col_tile`` tiles to place."""
+        return self.row_tiles * self.col_tiles
+
+    @property
+    def subarrays(self) -> int:
+        """Subarrays needed once batches are stacked (Table I)."""
+        per_sub = self.batches
+        return self.row_tiles * math.ceil(self.col_tiles / per_sub)
+
+    def tile_of(self, linear: int, batch: int) -> tuple:
+        """Map (subarray linear index, batch) -> (row part, col part).
+
+        Returns ``None`` when the slot is beyond the tile count.
+        With batches, subarray ``i`` holds column tiles
+        ``i*batches .. i*batches+batches-1`` (row_tiles == 1 then).
+        """
+        if self.batches > 1:
+            cp = linear * self.batches + batch
+            if cp >= self.col_tiles:
+                return None
+            return (0, cp)
+        cols_per_row = self.col_tiles
+        tile = linear
+        if batch != 0 or tile >= self.total_tiles:
+            return None
+        return (tile // cols_per_row, tile % cols_per_row)
+
+
+def compute_partition_plan(
+    patterns: int,
+    features: int,
+    queries: int,
+    spec: ArchSpec,
+    use_density: bool = False,
+) -> PartitionPlan:
+    """Tile a ``patterns × features`` store onto ``spec``'s subarrays."""
+    if patterns <= 0 or features <= 0:
+        raise ValueError("similarity kernel must have patterns and features")
+    col_tile = min(spec.cols, features)
+    col_tiles = math.ceil(features / col_tile)
+    row_tile = min(spec.rows, patterns)
+    row_tiles = math.ceil(patterns / row_tile)
+    batches = 1
+    if (
+        use_density
+        and spec.selective_search
+        and row_tiles == 1
+        and patterns <= spec.rows
+    ):
+        batches = max(1, spec.rows // patterns)
+    return PartitionPlan(
+        patterns=patterns,
+        features=features,
+        queries=queries,
+        rows=spec.rows,
+        cols=spec.cols,
+        row_tile=row_tile,
+        col_tile=col_tile,
+        row_tiles=row_tiles,
+        col_tiles=col_tiles,
+        batches=batches,
+    )
+
+
+#: Attribute names used to annotate similarity ops with their plan.
+PLAN_ATTRS = (
+    "patterns", "features", "queries", "rows", "cols",
+    "row_tile", "col_tile", "row_tiles", "col_tiles", "batches",
+)
+
+
+def annotate(op: Operation, plan: PartitionPlan) -> None:
+    """Attach ``plan`` to ``op`` as ``plan.*`` integer attributes."""
+    from repro.ir.attributes import IntegerAttr
+
+    for name in PLAN_ATTRS:
+        op.attributes[f"plan.{name}"] = IntegerAttr(getattr(plan, name))
+
+
+def plan_of(op: Operation) -> PartitionPlan:
+    """Read a :class:`PartitionPlan` back from ``plan.*`` attributes."""
+    values = {}
+    for name in PLAN_ATTRS:
+        attr = op.attributes.get(f"plan.{name}")
+        if attr is None:
+            raise ValueError(f"{op.name} has no partition plan annotation")
+        values[name] = attr.value
+    return PartitionPlan(**values)
+
+
+class CimPartitionPass(FunctionPass):
+    """Annotate every ``cim.similarity`` with its partition plan."""
+
+    NAME = "cim-partition"
+
+    def __init__(self, spec: ArchSpec, use_density: bool = False):
+        self.spec = spec
+        self.use_density = use_density
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in func.walk():
+            if isinstance(op, cim_d.SimilarityOp):
+                stored_t = op.stored.type
+                query_t = op.query.type
+                patterns, features = stored_t.shape[0], stored_t.shape[-1]
+                queries = query_t.shape[0] if query_t.rank == 2 else 1
+                plan = compute_partition_plan(
+                    patterns, features, queries, self.spec, self.use_density
+                )
+                annotate(op, plan)

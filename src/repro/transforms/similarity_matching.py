@@ -1,0 +1,203 @@
+"""Similarity pattern matching — the paper's Algorithm 1.
+
+Examines ``cim.execute`` bodies and checks whether their operation count
+and dataflow match one of three predefined similarity patterns:
+
+* **dot product**:  ``transpose → matmul → topk``   (4 ops incl. yield)
+* **Euclidean**:    ``sub → norm → topk``           (4 ops incl. yield)
+* **cosine**:       ``norm, norm, transpose → matmul → div``  (6 ops)
+
+Matching blocks are rewritten to the fused ``cim.similarity`` (dot /
+euclidean, returning top-k values+indices) or ``cim.score`` (cosine,
+returning the full similarity matrix) operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dialects import cim as cim_d
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation
+from repro.ir.value import BlockArgument, Value
+from repro.passes.pass_manager import FunctionPass
+
+
+class SimilarityMatchingPass(FunctionPass):
+    """Rewrite execute bodies matching Algorithm 1's patterns."""
+
+    NAME = "cim-similarity-match"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.body.operations):
+            if isinstance(op, cim_d.ExecuteOp):
+                match_similarity(op)
+
+
+def match_similarity(execute: cim_d.ExecuteOp) -> Optional[str]:
+    """Algorithm 1's ``SimilarityMatching`` for one execute op.
+
+    Returns the matched metric name (and rewrites the body) or None.
+    """
+    op_list = list(execute.body.operations)
+    op_size = len(op_list)
+    if op_size == 4:
+        return (
+            _match_dot_product(execute, op_list)
+            or _match_euclidean(execute, op_list)
+        )
+    if op_size == 6:
+        return _match_cosine(execute, op_list)
+    return None
+
+
+def _match_dot_product(
+    execute: cim_d.ExecuteOp, ops: List[Operation]
+) -> Optional[str]:
+    """DotProdSimPattern: transpose -> matmul(v1) -> topk(v2)."""
+    names = [op.name for op in ops]
+    if names != ["cim.transpose", "cim.matmul", "cim.topk", "cim.yield"]:
+        return None
+    transpose, matmul, topk, yld = ops
+    # Dataflow: matmul consumes the transpose; topk consumes the matmul.
+    if transpose.result not in matmul.operands:
+        return None
+    if matmul.operands[1] is not transpose.result:
+        return None
+    if topk.operands[0] is not matmul.result:
+        return None
+    if not _yield_matches(yld, topk.results):
+        return None
+    stored = _origin(transpose.operands[0])
+    query = _origin(matmul.operands[0])
+    k_value = topk.operands[1]
+    if stored is None or query is None:
+        return None
+    _rewrite(
+        execute, "dot", stored, query, k_value,
+        k_static=topk.attributes["k"].value,
+        largest=topk.attributes["largest"].value,
+    )
+    return "dot"
+
+
+def _match_euclidean(
+    execute: cim_d.ExecuteOp, ops: List[Operation]
+) -> Optional[str]:
+    """EuclNormPattern: sub -> norm(v1) -> topk(v2)."""
+    names = [op.name for op in ops]
+    if names != ["cim.sub", "cim.norm", "cim.topk", "cim.yield"]:
+        return None
+    sub, norm, topk, yld = ops
+    if norm.operands[0] is not sub.result:
+        return None
+    if topk.operands[0] is not norm.result:
+        return None
+    if not _yield_matches(yld, topk.results):
+        return None
+    # Identify roles: the stored patterns are the rank-2 (P×D) operand;
+    # the query is the broadcast (D,) or (1×D) operand.
+    a = _origin(sub.operands[0])
+    b = _origin(sub.operands[1])
+    if a is None or b is None:
+        return None
+    if a.type.rank > b.type.rank:
+        stored, query = a, b
+    elif b.type.rank > a.type.rank:
+        stored, query = b, a
+    elif a.type.shape[0] >= b.type.shape[0]:
+        stored, query = a, b
+    else:
+        stored, query = b, a
+    _rewrite(
+        execute, "euclidean", stored, query, topk.operands[1],
+        k_static=topk.attributes["k"].value,
+        largest=topk.attributes["largest"].value,
+    )
+    return "euclidean"
+
+
+def _match_cosine(
+    execute: cim_d.ExecuteOp, ops: List[Operation]
+) -> Optional[str]:
+    """CosSimPattern: norm, norm, transpose -> matmul(v3) -> div(v4,v2,v1)."""
+    names = sorted(op.name for op in ops[:-1])
+    expected = sorted(
+        ["cim.norm", "cim.norm", "cim.transpose", "cim.matmul", "cim.div"]
+    )
+    if names != expected or ops[-1].name != "cim.yield":
+        return None
+    by_name: Dict[str, List[Operation]] = {}
+    for op in ops[:-1]:
+        by_name.setdefault(op.name, []).append(op)
+    (matmul,) = by_name["cim.matmul"]
+    (transpose,) = by_name["cim.transpose"]
+    (div,) = by_name["cim.div"]
+    if matmul.operands[1] is not transpose.result:
+        return None
+    # div numerator must be the matmul; its divisor chain must come from
+    # the two norms (any association of the norm product).
+    if div.operands[0] is not matmul.result:
+        return None
+    stored = _origin(transpose.operands[0])
+    query = _origin(matmul.operands[0])
+    if stored is None or query is None:
+        return None
+    yld = ops[-1]
+    if list(yld.operands) != [div.result]:
+        return None
+    # Rewrite to cim.score cosine (full Q×P similarity matrix).
+    builder = OpBuilder.before(yld)
+    score = builder.create(cim_d.ScoreOp, "cosine", stored, query)
+    yld.set_operand(0, score.result)
+    for op in reversed(ops[:-1]):
+        if not any(r.has_uses for r in op.results):
+            op.erase()
+    return "cosine"
+
+
+def _yield_matches(yld: Operation, results: List[Value]) -> bool:
+    """The yield must forward (a subset of) the final op's results."""
+    return all(v in results for v in yld.operands) and len(yld.operands) > 0
+
+
+def _origin(value: Value) -> Optional[Value]:
+    """Map a body value back to the corresponding block argument."""
+    return value if isinstance(value, BlockArgument) else None
+
+
+def _rewrite(
+    execute: cim_d.ExecuteOp,
+    metric: str,
+    stored: Value,
+    query: Value,
+    k_value: Value,
+    k_static: int,
+    largest: bool,
+) -> None:
+    """Replace the matched body with a single ``cim.similarity``."""
+    yld = execute.body.terminator
+    yielded = list(yld.operands)
+    builder = OpBuilder.before(yld)
+    old_ops = [op for op in execute.body.operations if op is not yld]
+    topk = next(op for op in old_ops if op.name == "cim.topk")
+    sim = builder.create(
+        cim_d.SimilarityOp,
+        metric,
+        stored,
+        query,
+        k_value,
+        k_static=k_static,
+        largest=largest,
+        result_types=[r.type for r in topk.results],
+    )
+    old_ops = [op for op in old_ops if op is not sim]
+    replacement = {
+        id(topk.results[0]): sim.results[0],
+        id(topk.results[1]): sim.results[1],
+    }
+    for i, v in enumerate(yielded):
+        yld.set_operand(i, replacement.get(id(v), v))
+    for op in reversed(old_ops):
+        if not any(r.has_uses for r in op.results):
+            op.erase()

@@ -1,0 +1,57 @@
+"""Shared fixtures: dialect registration and small reusable kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ir.context import load_all_dialects
+
+load_all_dialects()
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def dot_kernel():
+    """A factory for the paper's Fig. 4a dot-similarity kernel."""
+    import repro.frontend.torch_api as torch
+
+    def make(prototypes, k=1, largest=True):
+        class DotSimilarity(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(prototypes)
+
+            def forward(self, input):
+                others = self.weight.transpose(-2, -1)
+                matmul = torch.matmul(input, others)
+                values, indices = torch.ops.aten.topk(
+                    matmul, k, largest=largest
+                )
+                return values, indices
+
+        return DotSimilarity()
+
+    return make
+
+
+@pytest.fixture()
+def euclidean_kernel():
+    """A factory for the Euclidean (sub→norm→topk) kernel."""
+    import repro.frontend.torch_api as torch
+
+    def make(stored, k=1):
+        class EuclideanKNN(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(stored)
+
+            def forward(self, query):
+                diff = torch.sub(query, self.weight)
+                dist = torch.norm(diff, p=2, dim=-1)
+                values, indices = torch.ops.aten.topk(dist, k, largest=False)
+                return values, indices
+
+        return EuclideanKNN()
+
+    return make

@@ -1,0 +1,214 @@
+"""Application (HDC/KNN/datasets) and baseline (GPU/manual) tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    build_knn,
+    pad_features,
+    pad_rows,
+    synthetic_mnist,
+    synthetic_pneumonia,
+    train_hdc,
+)
+from repro.apps.hdc import HDCEncoder
+from repro.arch import paper_spec, validation_spec
+from repro.baselines import QUADRO_RTX_6000, GpuModel, run_manual_similarity
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+
+
+class TestDatasets:
+    def test_mnist_shapes(self):
+        ds = synthetic_mnist(n_train=64, n_test=16)
+        assert ds.train_x.shape == (64, 784)
+        assert ds.test_x.shape == (16, 784)
+        assert ds.n_classes == 10
+        assert ds.train_y.max() < 10
+
+    def test_pneumonia_shapes(self):
+        ds = synthetic_pneumonia(n_train=32, n_test=8)
+        assert ds.n_classes == 2
+        assert ds.n_features == 1024
+
+    def test_deterministic(self):
+        a = synthetic_mnist(n_train=16, n_test=4)
+        b = synthetic_mnist(n_train=16, n_test=4)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+
+    def test_classes_separable(self):
+        """Nearest-template classification must beat chance by far."""
+        ds = synthetic_mnist(n_train=128, n_test=64)
+        # 1-NN on raw pixels
+        correct = 0
+        for x, y in zip(ds.test_x, ds.test_y):
+            d = ((ds.train_x - x) ** 2).sum(axis=1)
+            correct += ds.train_y[d.argmin()] == y
+        assert correct / len(ds.test_y) > 0.5
+
+    def test_pad_features(self):
+        x = np.ones((3, 10), dtype=np.float32)
+        p = pad_features(x, 8)
+        assert p.shape == (3, 16)
+        np.testing.assert_array_equal(p[:, 10:], 0)
+        assert pad_features(x, 5) is x
+
+    def test_pad_rows(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        y = np.array([0, 1, 2])
+        px, py, n = pad_rows(x, y, 4)
+        assert px.shape == (4, 4) and n == 3
+        np.testing.assert_array_equal(px[3], x[0])
+        assert py[3] == y[0]
+
+
+class TestHDC:
+    def test_encoder_bipolar(self):
+        enc = HDCEncoder(16, dimensions=128)
+        hv = enc.encode(np.random.default_rng(0).standard_normal((4, 16)))
+        assert hv.shape == (4, 128)
+        assert set(np.unique(hv)) <= {-1.0, 1.0}
+
+    def test_train_prototypes(self):
+        ds = synthetic_mnist(n_train=64, n_test=8)
+        model = train_hdc(ds, dimensions=256, bits=1)
+        assert model.prototypes.shape == (10, 256)
+        assert set(np.unique(model.prototypes)) <= {-1.0, 1.0}
+
+    def test_train_2bit_levels(self):
+        ds = synthetic_mnist(n_train=64, n_test=8)
+        model = train_hdc(ds, dimensions=256, bits=2)
+        assert set(np.unique(model.prototypes)) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_bits_validation(self):
+        ds = synthetic_mnist(n_train=16, n_test=4)
+        with pytest.raises(ValueError):
+            train_hdc(ds, bits=3)
+
+    def test_reference_accuracy(self):
+        ds = synthetic_mnist(n_train=256, n_test=64)
+        model = train_hdc(ds, dimensions=1024, bits=1)
+        q = model.encode_queries(ds.test_x)
+        acc = (model.classify_reference(q) == ds.test_y).mean()
+        assert acc > 0.8
+
+    @pytest.mark.parametrize("bits", [1, 2])
+    def test_cam_matches_reference(self, bits):
+        ds = synthetic_mnist(n_train=128, n_test=16)
+        model = train_hdc(ds, dimensions=512, bits=bits)
+        queries = model.encode_queries(ds.test_x[:8])
+        spec = validation_spec(cols=32, bits_per_cell=bits)
+        kernel_model, example = model.kernel(n_queries=8)
+        kernel = C4CAMCompiler(spec).compile(kernel_model, example)
+        _v, idx = kernel(queries)
+        np.testing.assert_array_equal(
+            idx.ravel(), model.classify_reference(queries)
+        )
+
+
+class TestKNN:
+    def test_build_pads(self):
+        ds = synthetic_pneumonia(n_train=30, n_test=4)
+        knn = build_knn(ds, k=3, feature_multiple=64, row_multiple=16)
+        assert knn.patterns % 16 == 0
+        assert knn.features % 64 == 0
+        assert knn.n_valid == 30
+
+    def test_vote(self):
+        ds = synthetic_pneumonia(n_train=30, n_test=4)
+        knn = build_knn(ds, k=3)
+        labels = knn.train_y[:5]
+        idx = np.arange(5)
+        assert knn.vote(idx) == np.bincount(labels).argmax()
+
+    def test_reference_accuracy(self):
+        ds = synthetic_pneumonia(n_train=128, n_test=32)
+        knn = build_knn(ds, k=5, feature_multiple=32, row_multiple=32)
+        acc = (knn.classify_reference(ds.test_x) == ds.test_y).mean()
+        assert acc > 0.7
+
+    def test_cam_matches_reference(self):
+        ds = synthetic_pneumonia(n_train=60, n_test=8)
+        knn = build_knn(ds, k=3, feature_multiple=32, row_multiple=32)
+        spec = paper_spec(rows=32, cols=32, cam_type="acam")
+        km, ex = knn.kernel()
+        kernel = C4CAMCompiler(spec).compile(km, ex)
+        queries = pad_features(ds.test_x, 32)
+        for i in range(4):
+            _v, idx = kernel(queries[i])
+            assert knn.vote(idx) == knn.classify_reference(
+                ds.test_x[i : i + 1]
+            )[0]
+
+
+class TestGpuBaseline:
+    def test_batching_amortizes_overhead(self):
+        g = QUADRO_RTX_6000
+        assert g.query_latency_ns(10, 8192, batch=1) > \
+            g.query_latency_ns(10, 8192, batch=64)
+
+    def test_energy_proportional_to_time(self):
+        g = QUADRO_RTX_6000
+        t = g.batch_time_s(10, 8192, 64) / 64
+        assert g.query_energy_pj(10, 8192, 64) == pytest.approx(
+            g.sustained_power_w * t * 1e12
+        )
+
+    def test_memory_bound_regime(self):
+        g = GpuModel(launch_overhead_s=0.0)
+        # Huge data, tiny compute: time tracks bytes/bandwidth.
+        t = g.batch_time_s(10, 1 << 20, 1)
+        data = (10 * (1 << 20) + (1 << 20) + 2 * 10) * 4
+        assert t == pytest.approx(data / g.mem_bandwidth)
+
+    def test_run_similarity_functional(self, rng):
+        stored = rng.standard_normal((10, 64)).astype(np.float32)
+        queries = rng.standard_normal((4, 64)).astype(np.float32)
+        values, idx, t_ns, e_pj = QUADRO_RTX_6000.run_similarity(
+            stored, queries, 1, True
+        )
+        expected = (queries @ stored.T).argmax(axis=1)
+        np.testing.assert_array_equal(idx.ravel(), expected)
+        assert t_ns > 0 and e_pj > 0
+
+    def test_end_to_end_ratio_decade(self):
+        """Paper §IV-B: 48× latency, 46.8× energy — same decade here."""
+        from repro.arch.technology import FEFET_45NM
+
+        gpu_lat = QUADRO_RTX_6000.query_latency_ns(10, 8192)
+        gpu_energy = QUADRO_RTX_6000.query_energy_pj(10, 8192)
+        cam_lat = 12.0 + FEFET_45NM.t_system_per_query
+        cam_energy = 850.0 + FEFET_45NM.e_system_per_query
+        assert 15 < gpu_lat / cam_lat < 150
+        assert 15 < gpu_energy / cam_energy < 150
+
+
+class TestManualBaseline:
+    def test_matches_functionally(self, rng):
+        stored = rng.choice([-1.0, 1.0], (10, 512)).astype(np.float32)
+        queries = rng.choice([-1.0, 1.0], (4, 512)).astype(np.float32)
+        spec = validation_spec(cols=32)
+        res = run_manual_similarity(stored, queries, spec, k=1,
+                                    metric="dot", largest=True)
+        expected = (queries @ stored.T).argmax(axis=1)
+        np.testing.assert_array_equal(res.indices.ravel(), expected)
+
+    def test_deviation_vs_compiler_small(self, dot_kernel, rng):
+        """Fig. 7: compiler output within a few % of the manual design."""
+        stored = rng.choice([-1.0, 1.0], (10, 1024)).astype(np.float32)
+        queries = rng.choice([-1.0, 1.0], (2, 1024)).astype(np.float32)
+        spec = validation_spec(cols=64)
+        kernel = C4CAMCompiler(spec).compile(
+            dot_kernel(stored, k=1, largest=True),
+            [placeholder(queries.shape)],
+        )
+        kernel(queries)
+        compiled = kernel.last_report
+        manual = run_manual_similarity(stored, queries, spec, k=1,
+                                       metric="dot", largest=True).report
+        lat_dev = abs(manual.query_latency_ns - compiled.query_latency_ns) \
+            / compiled.query_latency_ns
+        en_dev = abs(manual.energy.query_total - compiled.energy.query_total) \
+            / compiled.energy.query_total
+        assert lat_dev < 0.15
+        assert en_dev < 0.15

@@ -1,0 +1,156 @@
+"""Architecture specification and technology model tests."""
+
+import pytest
+
+from repro.arch import (
+    ArchSpec,
+    FEFET_45NM,
+    TechnologyModel,
+    dse_spec,
+    iso_capacity_spec,
+    paper_spec,
+    validation_spec,
+)
+
+
+class TestArchSpec:
+    def test_defaults(self):
+        spec = ArchSpec()
+        assert spec.rows == 32 and spec.cols == 32
+        assert spec.cam_type == "tcam"
+        assert spec.mode("bank") == "parallel"
+
+    def test_capacity_math(self):
+        spec = paper_spec()
+        assert spec.subarrays_per_mat == 32
+        assert spec.subarrays_per_bank == 128
+        assert spec.cells_per_subarray == 1024
+
+    def test_banks_needed(self):
+        spec = paper_spec()
+        assert spec.banks_needed(1) == 1
+        assert spec.banks_needed(128) == 1
+        assert spec.banks_needed(129) == 2
+        assert spec.banks_needed(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArchSpec(rows=0)
+        with pytest.raises(ValueError):
+            ArchSpec(cam_type="qcam")
+        with pytest.raises(ValueError):
+            ArchSpec(bits_per_cell=0)
+        with pytest.raises(ValueError):
+            ArchSpec(optimization_target="speed")
+        with pytest.raises(ValueError):
+            ArchSpec(access_modes={"bank": "warp"})
+
+    def test_tcam_single_bit_enforced(self):
+        with pytest.raises(ValueError):
+            ArchSpec(cam_type="tcam", bits_per_cell=2)
+        ArchSpec(cam_type="mcam", bits_per_cell=2)  # fine
+
+    def test_with_helpers(self):
+        spec = paper_spec()
+        assert spec.with_subarray(64, 128).cols == 128
+        assert spec.with_target("power").optimization_target == "power"
+        s = spec.with_modes(subarray="sequential")
+        assert s.mode("subarray") == "sequential"
+        assert s.mode("bank") == "parallel"
+        # original untouched (frozen dataclass semantics)
+        assert spec.mode("subarray") == "parallel"
+
+    def test_json_roundtrip(self, tmp_path):
+        spec = paper_spec(rows=64, cols=128, cam_type="mcam", bits_per_cell=2)
+        path = tmp_path / "arch.json"
+        spec.to_json(path)
+        assert ArchSpec.from_json(path) == spec
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ArchSpec.from_dict({"rows": 32, "wheels": 4})
+
+
+class TestPresets:
+    def test_paper_hierarchy(self):
+        spec = paper_spec()
+        assert (spec.mats_per_bank, spec.arrays_per_mat,
+                spec.subarrays_per_array) == (4, 4, 8)
+        assert spec.banks is None
+
+    def test_validation_spec_bits(self):
+        assert validation_spec(64).cam_type == "tcam"
+        assert validation_spec(64, bits_per_cell=2).cam_type == "mcam"
+
+    def test_dse_spec_square(self):
+        spec = dse_spec(128, "density")
+        assert spec.rows == spec.cols == 128
+        assert spec.optimization_target == "density"
+
+    def test_iso_capacity_invariant(self):
+        for n in (16, 32, 64, 128, 256):
+            spec = iso_capacity_spec(n)
+            assert spec.cells_per_array == 1 << 16
+
+    def test_iso_capacity_bad_size(self):
+        with pytest.raises(ValueError):
+            iso_capacity_spec(48)
+
+
+class TestTechnologyModel:
+    def test_search_latency_anchors(self):
+        """Paper §IV-A1: 860 ps at 16×16 and 7.5 ns at 256×256."""
+        t16 = FEFET_45NM.search_latency(dse_spec(16))
+        t256 = FEFET_45NM.search_latency(dse_spec(256))
+        assert t16 == pytest.approx(0.86, abs=0.02)
+        assert t256 == pytest.approx(7.5, abs=0.1)
+
+    def test_latency_monotone_in_cols(self):
+        lats = [
+            FEFET_45NM.search_latency(validation_spec(c))
+            for c in (16, 32, 64, 128)
+        ]
+        assert lats == sorted(lats)
+
+    def test_multibit_slower_and_hungrier(self):
+        s1 = validation_spec(64, bits_per_cell=1)
+        s2 = validation_spec(64, bits_per_cell=2)
+        assert FEFET_45NM.search_latency(s2) > FEFET_45NM.search_latency(s1)
+        assert FEFET_45NM.search_energy(s2, 10) > FEFET_45NM.search_energy(s1, 10)
+
+    def test_selective_phase_costs_more(self):
+        spec = dse_spec(256)
+        assert FEFET_45NM.search_phase_latency(spec, selective=True) > \
+            FEFET_45NM.search_phase_latency(spec, selective=False)
+
+    def test_search_energy_scales_with_rows(self):
+        spec = dse_spec(64)
+        assert FEFET_45NM.search_energy(spec, 20) > \
+            FEFET_45NM.search_energy(spec, 10)
+
+    def test_accumulate_energy_extra(self):
+        spec = dse_spec(64)
+        assert FEFET_45NM.search_energy(spec, 10, accumulate=True) > \
+            FEFET_45NM.search_energy(spec, 10, accumulate=False)
+
+    def test_write_scales_with_rows(self):
+        spec = dse_spec(64)
+        assert FEFET_45NM.write_latency(spec, 20) == \
+            2 * FEFET_45NM.write_latency(spec, 10)
+
+    def test_standby_power_composition(self):
+        p = FEFET_45NM.standby_power(dse_spec(32), 10, 2, 1, 1)
+        expected = (
+            10 * FEFET_45NM.p_subarray + 2 * FEFET_45NM.p_array
+            + FEFET_45NM.p_mat + FEFET_45NM.p_bank
+        )
+        assert p == pytest.approx(expected)
+
+    def test_acam_factors(self):
+        tcam = dse_spec(64)
+        acam = ArchSpec(rows=64, cols=64, cam_type="acam")
+        assert FEFET_45NM.search_latency(acam) > FEFET_45NM.search_latency(tcam)
+
+    def test_custom_model_fields(self):
+        tech = TechnologyModel(t_frontend=9.0)
+        assert tech.frontend_latency(dse_spec(32)) == 9.0

@@ -1,0 +1,215 @@
+"""Tests for canonicalization, CSE and the cim-to-loops host lowering."""
+
+import numpy as np
+import pytest
+
+import repro.frontend.torch_api as torch
+from repro.dialects import arith as arith_d
+from repro.dialects import func as func_d
+from repro.frontend import import_graph, placeholder, trace
+from repro.ir import ModuleOp, OpBuilder, count, print_module, verify
+from repro.ir.types import FunctionType
+from repro.passes.pass_manager import PassManager
+from repro.runtime.executor import Interpreter
+from repro.transforms import (
+    CSEPass,
+    CanonicalizePass,
+    CimFuseOpsPass,
+    CimToLoopsPass,
+    TorchToCimPass,
+)
+
+
+def imported(fn, inputs):
+    return import_graph(trace(fn, inputs)).module
+
+
+class TestCanonicalize:
+    def test_double_transpose_folds(self):
+        def fn(x):
+            return x.transpose(-2, -1).transpose(-2, -1)
+
+        m = imported(fn, [placeholder((4, 8))])
+        PassManager([CanonicalizePass()]).run(m)
+        assert count(m, name="torch.aten.transpose.int") == 0
+        # The return now forwards the argument directly.
+        ret = next(m.functions()).body.operations[-1]
+        assert ret.operands[0] is next(m.functions()).arguments[0]
+
+    def test_mismatched_dims_not_folded(self):
+        def fn(x):
+            return x.transpose(0, 1).transpose(0, 2)
+
+        m = imported(fn, [placeholder((2, 2, 2))])
+        PassManager([CanonicalizePass()]).run(m)
+        assert count(m, name="torch.aten.transpose.int") == 2
+
+    def test_constant_arith_folds(self):
+        from repro.ir.types import index
+
+        m = ModuleOp()
+        f = func_d.FuncOp("c", FunctionType([], [index]))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        c2 = b.create(arith_d.ConstantOp, 2)
+        c3 = b.create(arith_d.ConstantOp, 3)
+        add = b.create(arith_d.AddIOp, c2.result, c3.result)
+        mul = b.create(arith_d.MulIOp, add.result, c3.result)
+        b.create(func_d.ReturnOp, [mul.result])
+        PassManager([CanonicalizePass()]).run(m)
+        consts = [
+            op.value for op in m.walk() if isinstance(op, arith_d.ConstantOp)
+        ]
+        assert 15 in consts
+        assert count(m, name="arith.addi") == 0
+        assert count(m, name="arith.muli") == 0
+
+    def test_division_by_zero_not_folded(self):
+        from repro.ir.types import index
+
+        m = ModuleOp()
+        f = func_d.FuncOp("d", FunctionType([], [index]))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        c0 = b.create(arith_d.ConstantOp, 0)
+        div = b.create(arith_d.DivSIOp, c1.result, c0.result)
+        b.create(func_d.ReturnOp, [div.result])
+        PassManager([CanonicalizePass()], verify_each=False).run(m)
+        assert count(m, name="arith.divsi") == 1
+
+    def test_dead_ops_swept(self):
+        def fn(x):
+            _unused = x.transpose(-2, -1)
+            return x.transpose(-2, -1).transpose(-2, -1)
+
+        m = imported(fn, [placeholder((4, 8))])
+        PassManager([CanonicalizePass()]).run(m)
+        assert count(m, name="torch.aten.transpose.int") == 0
+
+
+class TestCSE:
+    def test_duplicate_constants_merged(self):
+        m = ModuleOp()
+        f = func_d.FuncOp("e", FunctionType([], []))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 7)
+        c2 = b.create(arith_d.ConstantOp, 7)
+        add = b.create(arith_d.AddIOp, c1.result, c2.result)
+        cast = b.create(arith_d.IndexCastOp, add.result, add.result.type)
+        b.create(func_d.ReturnOp, [])
+        PassManager([CSEPass(), CanonicalizePass()], verify_each=False).run(m)
+        verify(m)
+        # After CSE the second constant is dead and canonicalize sweeps it.
+        sevens = [
+            op for op in m.walk()
+            if isinstance(op, arith_d.ConstantOp) and op.value == 7
+        ]
+        assert len(sevens) <= 1
+
+    def test_different_attrs_not_merged(self):
+        m = ModuleOp()
+        f = func_d.FuncOp("g", FunctionType([], []))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        c2 = b.create(arith_d.ConstantOp, 2)
+        add = b.create(arith_d.AddIOp, c1.result, c2.result)
+        cast = b.create(arith_d.IndexCastOp, add.result, add.result.type)
+        b.create(func_d.ReturnOp, [])
+        PassManager([CSEPass()], verify_each=False).run(m)
+        assert count(m, name="arith.constant") == 2
+
+    def test_side_effecting_ops_kept(self):
+        from repro.dialects import memref as memref_d
+        from repro.ir.types import MemRefType, f32
+
+        m = ModuleOp()
+        f = func_d.FuncOp("h", FunctionType([], []))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        buf = b.create(memref_d.AllocOp, MemRefType([2], f32))
+        b.create(memref_d.FillOp, buf.result, 1.0)
+        b.create(memref_d.FillOp, buf.result, 1.0)
+        b.create(func_d.ReturnOp, [])
+        PassManager([CSEPass()]).run(m)
+        assert count(m, name="memref.fill") == 2
+
+    def test_identical_pure_ops_merged(self):
+        def fn(x):
+            a = x.transpose(-2, -1)
+            b_ = x.transpose(-2, -1)
+            return torch.matmul(a.transpose(-2, -1), b_)
+
+        m = imported(fn, [placeholder((4, 4))])
+        before = count(m, name="torch.aten.transpose.int")
+        PassManager([CSEPass(), CanonicalizePass()]).run(m)
+        after = count(m, name="torch.aten.transpose.int")
+        assert after < before
+
+
+class TestCimToLoops:
+    def lower(self, fn, inputs):
+        m = imported(fn, inputs)
+        PassManager(
+            [TorchToCimPass(), CimFuseOpsPass(), CimToLoopsPass()]
+        ).run(m)
+        verify(m)
+        return m
+
+    def test_no_cim_ops_remain(self):
+        def fn(a, b):
+            return torch.norm(a - b, p=2, dim=-1)
+
+        m = self.lower(fn, [placeholder((5, 8)), placeholder((5, 8))])
+        assert "cim." not in print_module(m)
+
+    def test_norm_of_difference(self, rng):
+        def fn(a, b):
+            return torch.norm(a - b, p=2, dim=-1)
+
+        m = self.lower(fn, [placeholder((5, 8)), placeholder((5, 8))])
+        a = rng.standard_normal((5, 8)).astype(np.float32)
+        b = rng.standard_normal((5, 8)).astype(np.float32)
+        out, _ = Interpreter(m).run_function("forward", [a, b])
+        np.testing.assert_allclose(
+            out[0], np.sqrt(((a - b) ** 2).sum(-1)), rtol=1e-5
+        )
+
+    def test_matmul_transpose(self, rng):
+        def fn(x, w):
+            return torch.matmul(x, w.transpose(-2, -1))
+
+        m = self.lower(fn, [placeholder((3, 8)), placeholder((6, 8))])
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        w = rng.standard_normal((6, 8)).astype(np.float32)
+        out, _ = Interpreter(m).run_function("forward", [x, w])
+        np.testing.assert_allclose(out[0], x @ w.T, rtol=1e-5)
+
+    def test_broadcast_sub_div(self, rng):
+        def fn(a, b):
+            return (a - b) / b
+
+        m = self.lower(fn, [placeholder((4, 6)), placeholder((1, 6))])
+        a = rng.standard_normal((4, 6)).astype(np.float32)
+        b = rng.standard_normal((1, 6)).astype(np.float32) + 2.0
+        out, _ = Interpreter(m).run_function("forward", [a, b])
+        np.testing.assert_allclose(out[0], (a - b) / b, rtol=1e-5)
+
+    def test_similarity_blocks_left_alone(self, dot_kernel, rng):
+        stored = rng.choice([-1.0, 1.0], (4, 16)).astype(np.float32)
+        m = imported(dot_kernel(stored), [placeholder((2, 16))])
+        PassManager(
+            [TorchToCimPass(), CimFuseOpsPass(), CimToLoopsPass()]
+        ).run(m)
+        # topk is not loop-lowerable, so the fused block stays cim.
+        assert count(m, name="cim.execute") == 1
+
+    def test_loops_structure(self):
+        def fn(x, w):
+            return torch.matmul(x, w)
+
+        m = self.lower(fn, [placeholder((3, 4)), placeholder((4, 5))])
+        assert count(m, name="scf.for") == 3  # i, j, k
+        assert count(m, name="memref.store") >= 1

@@ -1,0 +1,232 @@
+"""End-to-end compiler tests: functional correctness vs the golden model
+across CAM types, metrics, optimization configurations and shapes."""
+
+import numpy as np
+import pytest
+
+from repro.arch import dse_spec, paper_spec
+from repro.compiler import C4CAMCompiler, CompiledKernel, build_pipeline
+from repro.frontend import placeholder
+
+
+def reference_dot_topk(stored, queries, k, largest):
+    scores = queries.astype(np.float64) @ stored.T.astype(np.float64)
+    order = np.argsort(-scores if largest else scores, axis=1, kind="stable")
+    return order[:, :k]
+
+
+def reference_euclid_topk(stored, query, k):
+    d = np.sqrt(((stored.astype(np.float64) - query) ** 2).sum(axis=1))
+    return np.argsort(d, kind="stable")[:k]
+
+
+@pytest.fixture()
+def random_bipolar(rng):
+    def make(p, d, q):
+        stored = rng.choice([-1.0, 1.0], (p, d)).astype(np.float32)
+        queries = rng.choice([-1.0, 1.0], (q, d)).astype(np.float32)
+        return stored, queries
+
+    return make
+
+
+class TestDotSimilarity:
+    @pytest.mark.parametrize("cam_type,bits", [
+        ("tcam", 1), ("bcam", 1), ("mcam", 2), ("acam", 1),
+    ])
+    def test_matches_reference_per_cam_type(
+        self, dot_kernel, random_bipolar, cam_type, bits
+    ):
+        stored, queries = random_bipolar(10, 128, 5)
+        spec = paper_spec(rows=32, cols=32, cam_type=cam_type,
+                          bits_per_cell=bits)
+        kernel = C4CAMCompiler(spec).compile(
+            dot_kernel(stored, k=1, largest=True),
+            [placeholder(queries.shape)],
+        )
+        _v, idx = kernel(queries)
+        expected = reference_dot_topk(stored, queries, 1, True)
+        np.testing.assert_array_equal(idx.reshape(-1), expected.reshape(-1))
+
+    @pytest.mark.parametrize("target", [
+        "latency", "power", "density", "power+density",
+    ])
+    def test_all_optimization_configs_functional(
+        self, dot_kernel, random_bipolar, target
+    ):
+        stored, queries = random_bipolar(10, 512, 3)
+        spec = dse_spec(32, target)
+        kernel = C4CAMCompiler(spec).compile(
+            dot_kernel(stored, k=2, largest=True),
+            [placeholder(queries.shape)],
+        )
+        _v, idx = kernel(queries)
+        expected = reference_dot_topk(stored, queries, 2, True)
+        np.testing.assert_array_equal(idx, expected)
+
+    def test_largest_false_preserved(self, dot_kernel, random_bipolar):
+        """Paper Fig. 4a uses largest=False; order must be preserved."""
+        stored, queries = random_bipolar(8, 64, 4)
+        kernel = C4CAMCompiler(paper_spec()).compile(
+            dot_kernel(stored, k=1, largest=False),
+            [placeholder(queries.shape)],
+        )
+        _v, idx = kernel(queries)
+        expected = reference_dot_topk(stored, queries, 1, False)
+        np.testing.assert_array_equal(idx, expected)
+
+    def test_multiple_row_tiles(self, dot_kernel, rng):
+        """More patterns than subarray rows: vertical partitioning."""
+        stored = rng.choice([-1.0, 1.0], (96, 64)).astype(np.float32)
+        queries = rng.choice([-1.0, 1.0], (2, 64)).astype(np.float32)
+        kernel = C4CAMCompiler(paper_spec(rows=32, cols=32)).compile(
+            dot_kernel(stored, k=3, largest=True),
+            [placeholder(queries.shape)],
+        )
+        _v, idx = kernel(queries)
+        expected = reference_dot_topk(stored, queries, 3, True)
+        np.testing.assert_array_equal(idx, expected)
+
+    def test_multi_bank(self, dot_kernel, random_bipolar):
+        """More subarrays than one bank: multiple banks allocated."""
+        stored, queries = random_bipolar(10, 4096, 1)
+        spec = paper_spec(rows=16, cols=16)  # 256 subarrays > 128/bank
+        kernel = C4CAMCompiler(spec).compile(
+            dot_kernel(stored, k=1, largest=True),
+            [placeholder(queries.shape)],
+        )
+        _v, idx = kernel(queries)
+        assert kernel.last_report.banks_used == 2
+        expected = reference_dot_topk(stored, queries, 1, True)
+        np.testing.assert_array_equal(idx, expected)
+
+    def test_values_returned_for_native_metric(self, dot_kernel, rng):
+        """MCAM executes dot natively: returned values are real dots."""
+        stored = rng.integers(0, 4, (6, 64)).astype(np.float32)
+        queries = rng.integers(0, 4, (2, 64)).astype(np.float32)
+        spec = paper_spec(cam_type="mcam", bits_per_cell=2)
+        kernel = C4CAMCompiler(spec).compile(
+            dot_kernel(stored, k=1, largest=True),
+            [placeholder(queries.shape)],
+        )
+        values, idx = kernel(queries)
+        scores = queries @ stored.T
+        np.testing.assert_allclose(
+            values.reshape(-1), scores.max(axis=1), rtol=1e-6
+        )
+
+
+class TestEuclideanSimilarity:
+    def test_single_query_knn(self, euclidean_kernel, rng):
+        stored = rng.standard_normal((48, 64)).astype(np.float32)
+        query = rng.standard_normal(64).astype(np.float32)
+        spec = paper_spec(rows=16, cols=32, cam_type="acam")
+        kernel = C4CAMCompiler(spec).compile(
+            euclidean_kernel(stored, k=5), [placeholder((64,))]
+        )
+        _v, idx = kernel(query)
+        np.testing.assert_array_equal(
+            idx.reshape(-1), reference_euclid_topk(stored, query, 5)
+        )
+
+    def test_density_config(self, euclidean_kernel, rng):
+        stored = rng.standard_normal((10, 256)).astype(np.float32)
+        query = rng.standard_normal(256).astype(np.float32)
+        spec = paper_spec(rows=64, cols=64, cam_type="acam",
+                          optimization_target="density")
+        kernel = C4CAMCompiler(spec).compile(
+            euclidean_kernel(stored, k=2), [placeholder((256,))]
+        )
+        _v, idx = kernel(query)
+        np.testing.assert_array_equal(
+            idx.reshape(-1), reference_euclid_topk(stored, query, 2)
+        )
+
+
+class TestReports:
+    def test_report_scales_with_queries(self, dot_kernel, random_bipolar):
+        stored, queries = random_bipolar(10, 256, 4)
+        compiler = C4CAMCompiler(paper_spec())
+        kernel = compiler.compile(
+            dot_kernel(stored), [placeholder(queries.shape)]
+        )
+        kernel(queries)
+        rep4 = kernel.last_report
+        assert rep4.queries == 4
+        kernel1 = compiler.compile(
+            dot_kernel(stored), [placeholder((1, 256))]
+        )
+        kernel1(queries[:1])
+        rep1 = kernel1.last_report
+        assert rep4.query_latency_ns == pytest.approx(
+            4 * rep1.query_latency_ns, rel=1e-6
+        )
+
+    def test_density_uses_fewer_subarrays(self, dot_kernel, random_bipolar):
+        stored, queries = random_bipolar(10, 2048, 1)
+        base = C4CAMCompiler(dse_spec(64, "latency")).compile(
+            dot_kernel(stored), [placeholder((1, 2048))]
+        )
+        dens = C4CAMCompiler(dse_spec(64, "density")).compile(
+            dot_kernel(stored), [placeholder((1, 2048))]
+        )
+        base(queries)
+        dens(queries)
+        assert dens.last_report.subarrays_used < \
+            base.last_report.subarrays_used
+
+    def test_power_config_slower_same_energy(self, dot_kernel, random_bipolar):
+        stored, queries = random_bipolar(10, 2048, 1)
+        reports = {}
+        for target in ("latency", "power"):
+            k = C4CAMCompiler(dse_spec(32, target)).compile(
+                dot_kernel(stored), [placeholder((1, 2048))]
+            )
+            k(queries)
+            reports[target] = k.last_report
+        assert reports["power"].query_latency_ns > \
+            reports["latency"].query_latency_ns
+        assert reports["power"].power_mw < reports["latency"].power_mw
+        assert reports["power"].energy.query_total == pytest.approx(
+            reports["latency"].energy.query_total, rel=0.2
+        )
+
+    def test_mlir_dump(self, dot_kernel, random_bipolar):
+        stored, _q = random_bipolar(4, 64, 1)
+        kernel = C4CAMCompiler(paper_spec()).compile(
+            dot_kernel(stored), [placeholder((1, 64))]
+        )
+        text = kernel.mlir()
+        assert "cam.search" in text and "scf.parallel" in text
+
+
+class TestPipeline:
+    def test_build_pipeline_names(self):
+        pm = build_pipeline(paper_spec())
+        assert pm.describe() == (
+            "torch-to-cim -> cim-fuse-ops -> cim-similarity-match -> "
+            "cim-partition -> cim-to-cam"
+        )
+
+    def test_host_only_pipeline(self, dot_kernel, random_bipolar):
+        stored, queries = random_bipolar(6, 128, 2)
+        compiler = C4CAMCompiler(paper_spec())
+        kernel = compiler.compile(
+            dot_kernel(stored, k=2, largest=True),
+            [placeholder(queries.shape)], lower_to_cam=False,
+        )
+        _v, idx = kernel(queries)
+        expected = reference_dot_topk(stored, queries, 2, True)
+        np.testing.assert_array_equal(idx, expected)
+        assert kernel.last_report is None
+
+    def test_reference_kernel(self, dot_kernel, random_bipolar):
+        stored, queries = random_bipolar(6, 128, 2)
+        compiler = C4CAMCompiler(paper_spec())
+        ref = compiler.reference(
+            dot_kernel(stored, k=1, largest=True),
+            [placeholder(queries.shape)],
+        )
+        _v, idx = ref(queries)
+        expected = reference_dot_topk(stored, queries, 1, True)
+        np.testing.assert_array_equal(idx, expected)

@@ -1,0 +1,336 @@
+"""Construction and verification tests for all dialect operations."""
+
+import pytest
+
+from repro.dialects import arith as arith_d
+from repro.dialects import cam as cam_d
+from repro.dialects import cim as cim_d
+from repro.dialects import func as func_d
+from repro.dialects import memref as memref_d
+from repro.dialects import scf as scf_d
+from repro.dialects import tensor as tensor_d
+from repro.dialects import torch as torch_d
+from repro.ir.builder import OpBuilder
+from repro.ir.types import (
+    CamIdType,
+    FunctionType,
+    MemRefType,
+    TensorType,
+    f32,
+    i64,
+    index,
+)
+
+
+def idx(v):
+    return arith_d.ConstantOp(v, index).result
+
+
+class TestArith:
+    def test_constant_types(self):
+        assert arith_d.ConstantOp(3).result.type == index
+        assert arith_d.ConstantOp(1.5).result.type == f32
+        assert arith_d.ConstantOp(3, i64).result.type == i64
+
+    def test_constant_bad_type(self):
+        with pytest.raises(ValueError):
+            arith_d.ConstantOp(1, TensorType([2], f32))
+
+    def test_binary_type_mismatch(self):
+        a = arith_d.ConstantOp(1).result
+        b = arith_d.ConstantOp(1, i64).result
+        with pytest.raises(ValueError):
+            arith_d.AddIOp(a, b)
+
+    def test_cmpi_predicates(self):
+        a, b = idx(1), idx(2)
+        op = arith_d.CmpIOp("slt", a, b)
+        assert op.predicate == "slt"
+        with pytest.raises(ValueError):
+            arith_d.CmpIOp("weird", a, b)
+
+    def test_select_branch_types(self):
+        c = arith_d.CmpIOp("eq", idx(1), idx(1)).result
+        with pytest.raises(ValueError):
+            arith_d.SelectOp(c, idx(1), arith_d.ConstantOp(1, i64).result)
+
+
+class TestTensorMemref:
+    def test_extract_slice_type(self):
+        src = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        op = tensor_d.ExtractSliceOp(src, [0, 32], [10, 32])
+        assert op.result.type == TensorType([10, 32], f32)
+        assert op.offsets == [0, 32]
+        assert op.sizes == [10, 32]
+        assert op.strides == [1, 1]
+
+    def test_extract_slice_requires_tensor(self):
+        buf = memref_d.AllocOp(MemRefType([4], f32)).result
+        with pytest.raises(ValueError):
+            tensor_d.ExtractSliceOp(buf, [0], [2])
+
+    def test_insert_slice(self):
+        src = tensor_d.EmptyOp(TensorType([2, 4], f32)).result
+        dst = tensor_d.EmptyOp(TensorType([10, 4], f32)).result
+        op = tensor_d.InsertSliceOp(src, dst, [4, 0])
+        assert op.result.type == dst.type
+
+    def test_alloc_requires_memref(self):
+        with pytest.raises(ValueError):
+            memref_d.AllocOp(TensorType([4], f32))
+
+    def test_subview_type(self):
+        buf = memref_d.AllocOp(MemRefType([10, 64], f32)).result
+        op = memref_d.SubviewOp(buf, [0, -1], [1, 32], offset_operands=[idx(8)])
+        assert op.result.type == MemRefType([1, 32], f32)
+
+    def test_to_memref_to_tensor(self):
+        t = tensor_d.EmptyOp(TensorType([3, 4], f32)).result
+        buf = memref_d.ToMemrefOp(t).result
+        assert buf.type == MemRefType([3, 4], f32)
+        back = memref_d.ToTensorOp(buf)
+        assert back.result.type == TensorType([3, 4], f32)
+
+    def test_to_tensor_reshape(self):
+        buf = memref_d.AllocOp(MemRefType([1, 4], f32)).result
+        op = memref_d.ToTensorOp(buf, TensorType([4], f32))
+        assert op.result.type == TensorType([4], f32)
+
+    def test_to_tensor_reshape_count_mismatch(self):
+        buf = memref_d.AllocOp(MemRefType([1, 4], f32)).result
+        with pytest.raises(ValueError):
+            memref_d.ToTensorOp(buf, TensorType([5], f32))
+
+    def test_fill(self):
+        buf = memref_d.AllocOp(MemRefType([4], f32)).result
+        op = memref_d.FillOp(buf, 2.0)
+        assert op.value == 2.0
+
+
+class TestScf:
+    def test_for_structure(self):
+        loop = scf_d.ForOp(idx(0), idx(8), idx(1))
+        assert loop.induction_var.type == index
+        assert len(loop.body.arguments) == 1
+        assert loop.num_results == 0
+
+    def test_for_iter_args(self):
+        init = arith_d.ConstantOp(0.0).result
+        loop = scf_d.ForOp(idx(0), idx(8), idx(1), [init])
+        assert len(loop.body.arguments) == 2
+        assert loop.results[0].type == f32
+        assert list(loop.init_values) == [init]
+
+    def test_for_verify_bad_bounds(self):
+        bad = arith_d.ConstantOp(1.0).result
+        loop = scf_d.ForOp(idx(0), idx(4), idx(1))
+        loop.set_operand(1, bad)
+        with pytest.raises(ValueError):
+            loop.verify()
+
+    def test_parallel_structure(self):
+        loop = scf_d.ParallelOp(idx(0), idx(8), idx(2))
+        assert loop.step is loop.operands[2]
+        assert loop.body.arguments[0] is loop.induction_var
+
+    def test_if_blocks(self):
+        c = arith_d.CmpIOp("eq", idx(0), idx(0)).result
+        op = scf_d.IfOp(c)
+        assert op.then_block is not op.else_block
+
+
+class TestTorchDialect:
+    def test_transpose_shape(self):
+        t = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        op = torch_d.TransposeIntOp(t, -2, -1)
+        assert op.result.type == TensorType([64, 10], f32)
+
+    def test_matmul_shapes(self):
+        a = tensor_d.EmptyOp(TensorType([4, 8], f32)).result
+        b = tensor_d.EmptyOp(TensorType([8, 3], f32)).result
+        assert torch_d.MmOp(a, b).result.type == TensorType([4, 3], f32)
+
+    def test_matmul_mismatch(self):
+        a = tensor_d.EmptyOp(TensorType([4, 8], f32)).result
+        with pytest.raises(ValueError):
+            torch_d.MmOp(a, a)
+
+    def test_sub_broadcast(self):
+        a = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        b = tensor_d.EmptyOp(TensorType([64], f32)).result
+        assert torch_d.SubOp(b, a).result.type == TensorType([10, 64], f32)
+
+    def test_broadcast_error(self):
+        a = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        b = tensor_d.EmptyOp(TensorType([32], f32)).result
+        with pytest.raises(ValueError):
+            torch_d.SubOp(a, b)
+
+    def test_norm_shapes(self):
+        a = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        assert torch_d.NormOp(a, dim=-1).result.type == TensorType([10], f32)
+        assert torch_d.NormOp(a, dim=-1, keepdim=True).result.type == \
+            TensorType([10, 1], f32)
+
+    def test_topk_results(self):
+        a = tensor_d.EmptyOp(TensorType([4, 10], f32)).result
+        k = torch_d.ConstantIntOp(3).result
+        op = torch_d.TopkOp(a, k, 3, largest=False)
+        assert op.results[0].type == TensorType([4, 3], f32)
+        assert op.results[1].type == TensorType([4, 3], i64)
+        assert op.k == 3 and op.largest is False
+
+
+class TestCimDialect:
+    def test_execute_structure(self):
+        dev = cim_d.AcquireOp().result
+        t = tensor_d.EmptyOp(TensorType([4, 8], f32)).result
+        ex = cim_d.ExecuteOp(dev, [t], [TensorType([8, 4], f32)])
+        assert len(ex.body.arguments) == 1
+        body = OpBuilder.at_end(ex.body)
+        tr = body.create(cim_d.TransposeOp, ex.body.arguments[0])
+        body.create(cim_d.YieldOp, [tr.result])
+        ex.verify()
+
+    def test_execute_requires_yield(self):
+        dev = cim_d.AcquireOp().result
+        ex = cim_d.ExecuteOp(dev, [], [])
+        with pytest.raises(ValueError):
+            ex.verify()
+
+    def test_execute_yield_type_check(self):
+        dev = cim_d.AcquireOp().result
+        t = tensor_d.EmptyOp(TensorType([4, 8], f32)).result
+        ex = cim_d.ExecuteOp(dev, [t], [TensorType([4, 8], f32)])
+        body = OpBuilder.at_end(ex.body)
+        tr = body.create(cim_d.TransposeOp, ex.body.arguments[0])
+        body.create(cim_d.YieldOp, [tr.result])  # wrong type: 8x4
+        with pytest.raises(ValueError):
+            ex.verify()
+
+    def test_release_requires_device(self):
+        t = tensor_d.EmptyOp(TensorType([4], f32)).result
+        op = cim_d.ReleaseOp.__new__(cim_d.ReleaseOp)
+        from repro.ir.operation import Operation
+
+        Operation.__init__(op, name="cim.release", operands=[t])
+        with pytest.raises(ValueError):
+            op.verify()
+
+    def test_similarity_metric_validation(self):
+        s = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        q = tensor_d.EmptyOp(TensorType([2, 64], f32)).result
+        k = torch_d.ConstantIntOp(1).result
+        with pytest.raises(ValueError):
+            cim_d.SimilarityOp("manhattan", s, q, k, 1)
+
+    def test_similarity_default_largest(self):
+        s = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        q = tensor_d.EmptyOp(TensorType([2, 64], f32)).result
+        k = torch_d.ConstantIntOp(1).result
+        assert cim_d.SimilarityOp("dot", s, q, k, 1).largest is True
+        assert cim_d.SimilarityOp("euclidean", s, q, k, 1).largest is False
+
+    def test_similarity_dim_mismatch(self):
+        s = tensor_d.EmptyOp(TensorType([10, 64], f32)).result
+        q = tensor_d.EmptyOp(TensorType([2, 32], f32)).result
+        k = torch_d.ConstantIntOp(1).result
+        op = cim_d.SimilarityOp("dot", s, q, k, 1)
+        with pytest.raises(ValueError):
+            op.verify()
+
+    def test_merge_partial_direction(self):
+        a = tensor_d.EmptyOp(TensorType([10], f32)).result
+        with pytest.raises(ValueError):
+            cim_d.MergePartialOp("similarity dot", "diagonal", a, a)
+
+
+class TestCamDialect:
+    def _sub_id(self):
+        bank = cam_d.AllocBankOp(idx(32), idx(32)).result
+        mat = cam_d.AllocMatOp(bank).result
+        arr = cam_d.AllocArrayOp(mat).result
+        return cam_d.AllocSubarrayOp(arr).result
+
+    def test_alloc_chain_types(self):
+        sub = self._sub_id()
+        assert sub.type == CamIdType("subarray")
+
+    def test_alloc_mat_requires_bank(self):
+        mat_like = self._sub_id()
+        with pytest.raises(ValueError):
+            cam_d.AllocMatOp(mat_like).verify()
+
+    def test_write_value_checks(self):
+        sub = self._sub_id()
+        data = memref_d.AllocOp(MemRefType([10, 32], f32)).result
+        op = cam_d.WriteValueOp(sub, data, row_offset=10)
+        op.verify()
+        assert op.row_offset == 10
+        t = tensor_d.EmptyOp(TensorType([10, 32], f32)).result
+        with pytest.raises(ValueError):
+            cam_d.WriteValueOp(sub, t).verify()
+
+    def test_search_attrs(self):
+        sub = self._sub_id()
+        q = memref_d.AllocOp(MemRefType([1, 32], f32)).result
+        op = cam_d.SearchOp(
+            sub, q, search_type="best", metric="dot",
+            row_begin=10, row_count=10, accumulate=True,
+        )
+        op.verify()
+        assert op.metric == "dot" and op.accumulate is True
+        assert op.row_begin == 10
+
+    def test_search_validation(self):
+        sub = self._sub_id()
+        q = memref_d.AllocOp(MemRefType([1, 32], f32)).result
+        with pytest.raises(ValueError):
+            cam_d.SearchOp(sub, q, search_type="fuzzy")
+        with pytest.raises(ValueError):
+            cam_d.SearchOp(sub, q, metric="manhattan")
+
+    def test_read_result_types(self):
+        sub = self._sub_id()
+        op = cam_d.ReadOp(sub, 10, f32)
+        assert op.results[0].type == MemRefType([10, 1], f32)
+        assert op.results[1].type == MemRefType([10, 1], i64)
+
+    def test_merge_partial_dynamic_offset(self):
+        acc = memref_d.AllocOp(MemRefType([100], f32)).result
+        part = memref_d.AllocOp(MemRefType([10, 1], f32)).result
+        op = cam_d.MergePartialOp(
+            acc, part, level="subarray", row_offset_value=idx(20)
+        )
+        assert op.num_operands == 3
+
+    def test_sync_levels(self):
+        cam_d.SyncOp("array", rows=10).verify()
+        with pytest.raises(ValueError):
+            cam_d.SyncOp("cluster")
+
+    def test_select_topk(self):
+        scores = memref_d.AllocOp(MemRefType([10], f32)).result
+        vout = memref_d.AllocOp(MemRefType([1, 3], f32)).result
+        iout = memref_d.AllocOp(MemRefType([1, 3], i64)).result
+        op = cam_d.SelectTopkOp(scores, 3, True, vout, iout)
+        assert op.k == 3 and op.largest is True
+
+
+class TestFuncDialect:
+    def test_func_signature_args(self):
+        t = TensorType([2], f32)
+        f = func_d.FuncOp("g", FunctionType([t], [t]))
+        assert [a.type for a in f.arguments] == [t]
+        f.verify()
+
+    def test_func_arg_mismatch_detected(self):
+        t = TensorType([2], f32)
+        f = func_d.FuncOp("g", FunctionType([t], []))
+        f.body.add_argument(index)
+        with pytest.raises(ValueError):
+            f.verify()
+
+    def test_call_op(self):
+        op = func_d.CallOp("helper", [], [index])
+        assert op.callee == "helper"

@@ -1,0 +1,104 @@
+"""Tests for the sweep/evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.apps import synthetic_mnist, train_hdc
+from repro.arch import dse_spec
+from repro.evaluation import (
+    SweepPoint,
+    SweepResult,
+    dse_grid,
+    format_table,
+    run_sweep,
+)
+from repro.simulator.metrics import EnergyBreakdown, ExecutionReport
+
+
+def _point(target, n, latency=10.0, energy=100.0):
+    return SweepPoint(
+        label=f"{target}/{n}",
+        rows=n,
+        cols=n,
+        target=target,
+        report=ExecutionReport(
+            query_latency_ns=latency,
+            energy=EnergyBreakdown(search=energy),
+        ),
+    )
+
+
+class TestSweepResult:
+    def test_get_and_series(self):
+        r = SweepResult()
+        r.add(_point("latency", 16, latency=10))
+        r.add(_point("latency", 32, latency=20))
+        r.add(_point("power", 16, latency=30))
+        assert r.get("latency", 32, 32).latency_ns == 20
+        assert r.series("latency", "latency_ns") == [10, 20]
+        assert r.targets() == ["latency", "power"]
+
+    def test_get_missing(self):
+        with pytest.raises(KeyError):
+            SweepResult().get("latency", 16, 16)
+
+    def test_ratio(self):
+        r = SweepResult()
+        r.add(_point("latency", 16, latency=10))
+        r.add(_point("power", 16, latency=25))
+        assert r.ratio("power", "latency", "latency_ns") == [2.5]
+
+    def test_ratio_length_mismatch(self):
+        r = SweepResult()
+        r.add(_point("latency", 16))
+        r.add(_point("power", 16))
+        r.add(_point("power", 32))
+        with pytest.raises(ValueError):
+            r.ratio("power", "latency", "latency_ns")
+
+    def test_csv_export(self):
+        r = SweepResult()
+        r.add(_point("latency", 16))
+        csv_text = r.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("label,rows,cols,target")
+        assert len(lines) == 2
+        assert "latency/16" in lines[1]
+
+    def test_format_table(self):
+        r = SweepResult()
+        r.add(_point("latency", 16, energy=100))
+        r.add(_point("latency", 32, energy=50))
+        text = format_table(r, "energy_pj", [16, 32], title="E")
+        assert "=== E ===" in text
+        assert "latency" in text
+
+
+class TestDseGrid:
+    def test_grid_size(self):
+        grid = dse_grid(sizes=(16, 32), targets=("latency", "power"))
+        assert len(grid) == 4
+        labels = [label for label, _spec in grid]
+        assert "power/32x32" in labels
+
+    def test_specs_configured(self):
+        grid = dict(dse_grid(sizes=(64,), targets=("density",)))
+        spec = grid["density/64x64"]
+        assert spec.rows == 64 and spec.optimization_target == "density"
+
+
+class TestRunSweep:
+    def test_end_to_end_sweep(self):
+        ds = synthetic_mnist(n_train=64, n_test=4)
+        model = train_hdc(ds, dimensions=512, bits=1)
+        queries = model.encode_queries(ds.test_x[:1])
+        result = run_sweep(
+            lambda: model.kernel(n_queries=1),
+            [queries],
+            dse_grid(sizes=(16, 32), targets=("latency", "power")),
+        )
+        assert len(result.points) == 4
+        ratios = result.ratio("power", "latency", "latency_ns")
+        assert all(r > 1 for r in ratios)
+        csv_text = result.to_csv()
+        assert csv_text.count("\n") == 5  # header + 4 rows

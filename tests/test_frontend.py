@@ -1,0 +1,175 @@
+"""Frontend tests: tracing mini-torch API and the graph importer."""
+
+import numpy as np
+import pytest
+
+import repro.frontend.torch_api as torch
+from repro.frontend import TraceError, import_graph, placeholder, trace
+from repro.ir.printer import print_module
+from repro.ir.types import TensorType, f32, i64
+from repro.ir.verifier import verify
+
+
+class TestTracing:
+    def test_placeholder_shape(self):
+        p = placeholder((4, 8))
+        assert p.shape == (4, 8) and p.dtype == "f32"
+        assert p.ndim == 2 and p.size(0) == 4 and p.size() == (4, 8)
+
+    def test_transpose_shape(self):
+        g = trace(lambda x: x.transpose(-2, -1), [placeholder((4, 8))])
+        assert g.outputs[0].shape == (8, 4)
+
+    def test_matmul_shape_and_error(self):
+        g = trace(
+            lambda a, b: torch.matmul(a, b),
+            [placeholder((4, 8)), placeholder((8, 3))],
+        )
+        assert g.outputs[0].shape == (4, 3)
+        with pytest.raises(TraceError):
+            trace(
+                lambda a, b: torch.matmul(a, b),
+                [placeholder((4, 8)), placeholder((4, 3))],
+            )
+
+    def test_mm_requires_2d(self):
+        with pytest.raises(TraceError):
+            trace(lambda a: torch.mm(a, a), [placeholder((4,))])
+
+    def test_operator_overloads(self):
+        def fn(a, b):
+            return (a - b) / b
+
+        g = trace(fn, [placeholder((4, 8)), placeholder((4, 8))])
+        assert [n.op for n in g.nodes] == ["sub", "div"]
+
+    def test_norm_shapes(self):
+        g = trace(lambda x: torch.norm(x, dim=-1), [placeholder((4, 8))])
+        assert g.outputs[0].shape == (4,)
+        g2 = trace(
+            lambda x: torch.norm(x, dim=-1, keepdim=True), [placeholder((4, 8))]
+        )
+        assert g2.outputs[0].shape == (4, 1)
+
+    def test_topk_returns_pair(self):
+        g = trace(lambda x: torch.topk(x, 3), [placeholder((4, 10))])
+        assert len(g.outputs) == 2
+        assert g.outputs[0].shape == (4, 3)
+        assert g.outputs[1].dtype == "i64"
+
+    def test_topk_k_validation(self):
+        with pytest.raises(TraceError):
+            trace(lambda x: torch.topk(x, 11), [placeholder((4, 10))])
+
+    def test_ops_aten_namespace(self):
+        g = trace(
+            lambda x: torch.ops.aten.topk(x, 1, largest=False),
+            [placeholder((4, 10))],
+        )
+        assert g.nodes[-1].attrs["largest"] is False
+
+    def test_broadcast_error(self):
+        with pytest.raises(TraceError):
+            trace(
+                lambda a, b: a - b,
+                [placeholder((4, 8)), placeholder((3,))],
+            )
+
+    def test_ops_outside_trace_rejected(self):
+        p = placeholder((4, 8))
+        with pytest.raises(TraceError):
+            p.transpose(-2, -1)
+
+    def test_module_parameters_captured(self):
+        w = np.ones((10, 8), dtype=np.float32)
+
+        class M(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(w)
+
+            def forward(self, x):
+                return torch.matmul(x, self.weight.transpose(-2, -1))
+
+        g = trace(M(), [placeholder((4, 8))])
+        assert len(g.parameters) == 1
+        assert np.array_equal(g.parameters[0].data, w)
+
+    def test_non_tensor_return_rejected(self):
+        with pytest.raises(TraceError):
+            trace(lambda x: 42, [placeholder((2,))])
+
+    def test_numpy_example_inputs(self):
+        g = trace(lambda x: x.transpose(0, 1), [np.zeros((2, 3))])
+        assert g.placeholders[0].shape == (2, 3)
+
+    def test_nested_traces_isolated(self):
+        def outer(x):
+            g_inner = trace(lambda y: y.transpose(0, 1), [placeholder((2, 2))])
+            assert len(g_inner.nodes) == 1
+            return x.transpose(0, 1)
+
+        g = trace(outer, [placeholder((3, 4))])
+        assert len(g.nodes) == 1
+
+
+class TestImporter:
+    def test_signature(self):
+        w = np.ones((10, 8), dtype=np.float32)
+
+        class M(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(w)
+
+            def forward(self, x):
+                return torch.matmul(x, self.weight.transpose(-2, -1))
+
+        imported = import_graph(trace(M(), [placeholder((4, 8))]))
+        verify(imported.module)
+        fn = imported.func
+        assert fn.function_type.inputs == (
+            TensorType([4, 8], f32),
+            TensorType([10, 8], f32),
+        )
+        assert imported.parameter_arrays[0] is w
+
+    def test_paper_fig4b_structure(self, dot_kernel):
+        w = np.ones((10, 64), dtype=np.float32)
+        g = trace(dot_kernel(w, k=1, largest=False), [placeholder((10, 64))])
+        imported = import_graph(g)
+        names = [op.name for op in imported.func.body.operations]
+        assert names == [
+            "torch.aten.transpose.int",
+            "torch.aten.mm",
+            "torch.constant.int",
+            "torch.aten.topk",
+            "func.return",
+        ]
+
+    def test_matmul_picks_mm_for_2d(self):
+        g = trace(
+            lambda a, b: torch.matmul(a, b),
+            [placeholder((2, 3)), placeholder((3, 2))],
+        )
+        imported = import_graph(g)
+        assert any(
+            op.name == "torch.aten.mm" for op in imported.func.body.operations
+        )
+
+    def test_euclidean_kernel_imports(self, euclidean_kernel):
+        stored = np.ones((16, 32), dtype=np.float32)
+        g = trace(euclidean_kernel(stored, k=3), [placeholder((32,))])
+        imported = import_graph(g)
+        verify(imported.module)
+        names = [op.name for op in imported.func.body.operations]
+        assert "torch.aten.sub" in names and "torch.aten.norm" in names
+
+    def test_topk_indices_typed_i64(self):
+        g = trace(lambda x: torch.topk(x, 2)[1], [placeholder((4, 10))])
+        imported = import_graph(g)
+        ret = imported.func.body.operations[-1]
+        assert ret.operands[0].type == TensorType([4, 2], i64)
+
+    def test_printable(self):
+        g = trace(lambda x: x.transpose(0, 1), [placeholder((2, 3))])
+        text = print_module(import_graph(g).module)
+        assert "torch.aten.transpose.int" in text

@@ -1,0 +1,159 @@
+"""Cross-cutting invariants tying the compiler and simulator together."""
+
+import numpy as np
+import pytest
+
+from repro.arch import dse_spec, paper_spec, validation_spec
+from repro.baselines import run_manual_similarity
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+from repro.simulator import CamMachine
+
+
+@pytest.fixture()
+def hdc_inputs(rng):
+    stored = rng.choice([-1.0, 1.0], (10, 1024)).astype(np.float32)
+    queries = rng.choice([-1.0, 1.0], (2, 1024)).astype(np.float32)
+    return stored, queries
+
+
+def run(dot_kernel, stored, queries, spec, **compile_kw):
+    kernel = C4CAMCompiler(spec).compile(
+        dot_kernel(stored, k=1, largest=True),
+        [placeholder(queries.shape)],
+        **compile_kw,
+    )
+    outputs = kernel(queries)
+    return outputs, kernel.last_report
+
+
+class TestEnergyAccounting:
+    def test_components_sum_to_total(self, dot_kernel, hdc_inputs):
+        stored, queries = hdc_inputs
+        _out, rep = run(dot_kernel, stored, queries, paper_spec())
+        e = rep.energy
+        assert e.query_total == pytest.approx(
+            e.search + e.read + e.merge + e.host + e.standby
+        )
+        assert e.total == pytest.approx(e.query_total + e.write)
+
+    def test_energy_scales_with_queries(self, dot_kernel, hdc_inputs, rng):
+        stored, _ = hdc_inputs
+        q4 = rng.choice([-1.0, 1.0], (4, 1024)).astype(np.float32)
+        _o1, r1 = run(dot_kernel, stored, q4[:1], paper_spec())
+        # Recompile for the 4-query signature.
+        kernel = C4CAMCompiler(paper_spec()).compile(
+            dot_kernel(stored, k=1, largest=True), [placeholder((4, 1024))]
+        )
+        kernel(q4)
+        r4 = kernel.last_report
+        assert r4.energy.search == pytest.approx(4 * r1.energy.search)
+        assert r4.energy.write == pytest.approx(r1.energy.write)
+
+    def test_write_energy_independent_of_target(self, dot_kernel, hdc_inputs):
+        stored, queries = hdc_inputs
+        _o1, base = run(dot_kernel, stored, queries, dse_spec(32, "latency"))
+        _o2, power = run(dot_kernel, stored, queries, dse_spec(32, "power"))
+        assert base.energy.write == pytest.approx(power.energy.write)
+
+    def test_search_count_matches_plan(self, dot_kernel, hdc_inputs):
+        from repro.transforms import compute_partition_plan
+
+        stored, queries = hdc_inputs
+        spec = dse_spec(64)
+        plan = compute_partition_plan(10, 1024, 2, spec, False)
+        _out, rep = run(dot_kernel, stored, queries, spec)
+        assert rep.searches == plan.subarrays * len(queries)
+
+
+class TestLatencyInvariants:
+    def test_latency_independent_of_data(self, dot_kernel, rng):
+        """Timing is data-independent (searches are constant-time)."""
+        reports = []
+        for seed in (1, 2):
+            r = np.random.default_rng(seed)
+            stored = r.choice([-1.0, 1.0], (10, 512)).astype(np.float32)
+            queries = r.choice([-1.0, 1.0], (1, 512)).astype(np.float32)
+            _out, rep = run(dot_kernel, stored, queries, paper_spec())
+            reports.append(rep.query_latency_ns)
+        assert reports[0] == pytest.approx(reports[1])
+
+    def test_setup_scales_with_subarrays(self, dot_kernel, hdc_inputs):
+        stored, queries = hdc_inputs
+        _o1, small = run(dot_kernel, stored, queries, dse_spec(64))
+        _o2, large = run(dot_kernel, stored, queries, dse_spec(16))
+        assert large.setup_latency_ns > small.setup_latency_ns
+
+    def test_noise_does_not_change_timing(self, dot_kernel, hdc_inputs):
+        stored, queries = hdc_inputs
+        _o1, clean = run(dot_kernel, stored, queries, paper_spec())
+        _o2, noisy = run(
+            dot_kernel, stored, queries, paper_spec(), noise_sigma=2.0
+        )
+        assert clean.query_latency_ns == pytest.approx(noisy.query_latency_ns)
+        assert clean.energy.query_total == pytest.approx(
+            noisy.energy.query_total
+        )
+
+
+class TestCompilerManualAgreement:
+    @pytest.mark.parametrize("cols", [16, 64])
+    @pytest.mark.parametrize("bits", [1, 2])
+    def test_same_machine_shape(self, dot_kernel, hdc_inputs, cols, bits):
+        """Compiler and manual mapping allocate identical hierarchies."""
+        stored, queries = hdc_inputs
+        spec = validation_spec(cols, bits_per_cell=bits)
+        _out, compiled = run(dot_kernel, stored, queries, spec)
+        manual = run_manual_similarity(
+            stored, queries, spec, k=1, metric="dot", largest=True
+        ).report
+        assert compiled.subarrays_used == manual.subarrays_used
+        assert compiled.banks_used == manual.banks_used
+        assert compiled.searches == manual.searches
+
+    def test_same_dynamic_energy_components(self, dot_kernel, hdc_inputs):
+        """Search energy (pure device physics) agrees exactly; only the
+        aggregation conventions differ (Fig. 7's small deviations)."""
+        stored, queries = hdc_inputs
+        spec = validation_spec(32)
+        _out, compiled = run(dot_kernel, stored, queries, spec)
+        manual = run_manual_similarity(
+            stored, queries, spec, k=1, metric="dot", largest=True
+        ).report
+        assert compiled.energy.search == pytest.approx(manual.energy.search)
+        assert compiled.energy.read == pytest.approx(manual.energy.read)
+
+
+class TestMachineConsistency:
+    def test_allocation_counts_consistent(self):
+        spec = paper_spec()
+        m = CamMachine(spec)
+        for _ in range(2):
+            bank = m.alloc_bank()
+            for _ in range(2):
+                mat = m.alloc_mat(bank)
+                arr = m.alloc_array(mat)
+                m.alloc_subarray(arr)
+        assert m.banks_used == 2
+        assert m.mats_used == 4
+        assert m.arrays_used == 4
+        assert m.subarrays_used == 4
+
+    def test_area_additive(self):
+        spec = paper_spec()
+        m1 = CamMachine(spec)
+        m1.alloc_subarray(m1.alloc_array(m1.alloc_mat(m1.alloc_bank())))
+        single = m1.chip_area_mm2()
+        m2 = CamMachine(spec)
+        arr = m2.alloc_array(m2.alloc_mat(m2.alloc_bank()))
+        m2.alloc_subarray(arr)
+        m2.alloc_subarray(arr)
+        assert m2.chip_area_mm2() > single
+
+    def test_standby_duty_only_for_power_targets(self):
+        for target, expected_duty in (("latency", 1.0), ("density", 1.0)):
+            m = CamMachine(paper_spec(optimization_target=target))
+            arr = m.alloc_array(m.alloc_mat(m.alloc_bank()))
+            for _ in range(8):
+                m.alloc_subarray(arr)
+            assert m.standby_duty() == expected_duty

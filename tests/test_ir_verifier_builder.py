@@ -1,0 +1,127 @@
+"""Verifier invariants and builder insertion-point behaviour."""
+
+import pytest
+
+from repro.dialects import arith as arith_d
+from repro.dialects import func as func_d
+from repro.dialects import scf as scf_d
+from repro.ir.builder import InsertionPoint, OpBuilder
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.types import FunctionType, index
+from repro.ir.verifier import VerificationError, verify
+
+
+def make_func():
+    m = ModuleOp()
+    f = func_d.FuncOp("v", FunctionType([], []))
+    m.append(f)
+    return m, f
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        c = b.create(arith_d.ConstantOp, 1)
+        b.create(arith_d.AddIOp, c.result, c.result)
+        verify(m)
+
+    def test_use_before_def_detected(self):
+        m, f = make_func()
+        c = arith_d.ConstantOp(1)
+        add = arith_d.AddIOp(c.result, c.result)
+        # Insert the add *before* the constant.
+        f.body.append(add)
+        f.body.append(c)
+        with pytest.raises(VerificationError):
+            verify(m)
+
+    def test_dangling_value_detected(self):
+        m, f = make_func()
+        orphan = arith_d.ConstantOp(1)  # never inserted anywhere
+        f.body.append(arith_d.AddIOp(orphan.result, orphan.result))
+        with pytest.raises(VerificationError):
+            verify(m)
+
+    def test_terminator_must_be_last(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        b.create(func_d.ReturnOp, [])
+        b.create(arith_d.ConstantOp, 1)
+        with pytest.raises(VerificationError):
+            verify(m)
+
+    def test_op_verify_hook_called(self):
+        m, f = make_func()
+        f.attributes.pop("function_type")
+        with pytest.raises(VerificationError):
+            verify(m)
+
+    def test_loop_body_sees_outer_values(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        c0 = b.create(arith_d.ConstantOp, 0)
+        c4 = b.create(arith_d.ConstantOp, 4)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        loop = b.create(scf_d.ForOp, c0.result, c4.result, c1.result)
+        inner = OpBuilder.at_end(loop.body)
+        inner.create(arith_d.AddIOp, loop.induction_var, c1.result)
+        inner.create(scf_d.YieldOp, [])
+        verify(m)
+
+    def test_values_do_not_leak_across_sibling_functions(self):
+        m = ModuleOp()
+        f1 = func_d.FuncOp("a", FunctionType([], []))
+        f2 = func_d.FuncOp("b", FunctionType([], []))
+        m.append(f1)
+        m.append(f2)
+        c = OpBuilder.at_end(f1.body).create(arith_d.ConstantOp, 1)
+        f2.body.append(arith_d.AddIOp(c.result, c.result))
+        with pytest.raises(VerificationError):
+            verify(m)
+
+
+class TestBuilder:
+    def test_at_end_appends(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        c2 = b.create(arith_d.ConstantOp, 2)
+        assert f.body.operations == [c1, c2]
+
+    def test_before_inserts(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        c0 = OpBuilder.before(c1).create(arith_d.ConstantOp, 0)
+        assert f.body.operations == [c0, c1]
+
+    def test_after_inserts(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        c3 = b.create(arith_d.ConstantOp, 3)
+        c2 = OpBuilder.after(c1).create(arith_d.ConstantOp, 2)
+        assert f.body.operations == [c1, c2, c3]
+
+    def test_after_last_op(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        c2 = OpBuilder.after(c1).create(arith_d.ConstantOp, 2)
+        assert f.body.operations == [c1, c2]
+
+    def test_no_insertion_point_raises(self):
+        with pytest.raises(RuntimeError):
+            OpBuilder().insert(arith_d.ConstantOp(1))
+
+    def test_temporary_insertion_point(self):
+        m, f = make_func()
+        b = OpBuilder.at_end(f.body)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        with b.at(InsertionPoint.before(c1)):
+            b.create(arith_d.ConstantOp, 0)
+        c2 = b.create(arith_d.ConstantOp, 2)
+        values = [op.attributes["value"].value for op in f.body.operations]
+        assert values == [0, 1, 2]

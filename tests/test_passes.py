@@ -1,0 +1,198 @@
+"""Pass manager and pattern-rewrite driver tests."""
+
+import pytest
+
+from repro.dialects import arith as arith_d
+from repro.dialects import func as func_d
+from repro.ir.builder import OpBuilder
+from repro.ir.module import ModuleOp
+from repro.ir.types import FunctionType
+from repro.passes.pass_manager import (
+    FunctionPass,
+    LambdaPass,
+    Pass,
+    PassError,
+    PassManager,
+)
+from repro.passes.rewrite import (
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    erase_dead_ops,
+)
+
+
+def make_module():
+    m = ModuleOp()
+    f = func_d.FuncOp("p", FunctionType([], []))
+    m.append(f)
+    b = OpBuilder.at_end(f.body)
+    c1 = b.create(arith_d.ConstantOp, 1)
+    c2 = b.create(arith_d.ConstantOp, 2)
+    b.create(arith_d.AddIOp, c1.result, c2.result)
+    b.create(func_d.ReturnOp, [])
+    return m, f
+
+
+class TestPassManager:
+    def test_runs_in_order(self):
+        order = []
+        pm = PassManager([
+            LambdaPass(lambda m: order.append("a"), "a"),
+            LambdaPass(lambda m: order.append("b"), "b"),
+        ])
+        pm.run(ModuleOp())
+        assert order == ["a", "b"]
+
+    def test_statistics_collected(self):
+        pm = PassManager([LambdaPass(lambda m: None, "noop")])
+        pm.run(ModuleOp())
+        assert pm.statistics[0]["pass"] == "noop"
+        assert pm.statistics[0]["seconds"] >= 0
+
+    def test_failure_wrapped(self):
+        def boom(m):
+            raise ValueError("boom")
+
+        pm = PassManager([LambdaPass(boom, "boom")])
+        with pytest.raises(PassError, match="boom"):
+            pm.run(ModuleOp())
+
+    def test_verify_each_catches_broken_ir(self):
+        def breaker(module):
+            f = next(module.functions())
+            # Create a dangling use: operand defined nowhere.
+            orphan = arith_d.ConstantOp(1)
+            f.body.insert_before(
+                f.body.operations[-1], arith_d.AddIOp(orphan.result, orphan.result)
+            )
+
+        m, _f = make_module()
+        pm = PassManager([LambdaPass(breaker, "breaker")])
+        with pytest.raises(PassError, match="verification failed"):
+            pm.run(m)
+
+    def test_verify_each_off(self):
+        m, _f = make_module()
+        pm = PassManager([LambdaPass(lambda m: None)], verify_each=False)
+        pm.run(m)  # should not raise
+
+    def test_function_pass_visits_each_function(self):
+        seen = []
+
+        class P(FunctionPass):
+            def run_on_function(self, func):
+                seen.append(func.sym_name)
+
+        m = ModuleOp()
+        m.append(func_d.FuncOp("a", FunctionType([], [])))
+        m.append(func_d.FuncOp("b", FunctionType([], [])))
+        PassManager([P()], verify_each=False).run(m)
+        assert seen == ["a", "b"]
+
+    def test_describe(self):
+        pm = PassManager([LambdaPass(lambda m: None, "x")])
+        assert pm.describe() == "x"
+
+    def test_base_pass_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Pass().run(ModuleOp())
+
+
+class FoldAddOfConstants(RewritePattern):
+    """addi(c1, c2) -> constant(c1+c2)."""
+
+    OP_NAME = "arith.addi"
+
+    def match_and_rewrite(self, op, rewriter: PatternRewriter):
+        a, b = op.operands
+        ops = (getattr(a, "op", None), getattr(b, "op", None))
+        if not all(isinstance(o, arith_d.ConstantOp) for o in ops):
+            return False
+        folded = rewriter.create(
+            arith_d.ConstantOp, ops[0].value + ops[1].value
+        )
+        rewriter.replace_op(op, [folded.result])
+        return True
+
+
+class TestGreedyRewriter:
+    def test_fold_applies(self):
+        m, f = make_module()
+        changed = apply_patterns_greedily(m, [FoldAddOfConstants()])
+        assert changed
+        assert not any(op.name == "arith.addi" for op in m.walk())
+
+    def test_fixed_point_reached(self):
+        m, f = make_module()
+        apply_patterns_greedily(m, [FoldAddOfConstants()])
+        changed = apply_patterns_greedily(m, [FoldAddOfConstants()])
+        assert not changed
+
+    def test_non_converging_pattern_raises(self):
+        class Churn(RewritePattern):
+            OP_NAME = "arith.constant"
+
+            def match_and_rewrite(self, op, rewriter):
+                new = rewriter.create(arith_d.ConstantOp, op.value)
+                rewriter.replace_op(op, [new.result])
+                return True
+
+        m, _ = make_module()
+        with pytest.raises(RuntimeError, match="converge"):
+            apply_patterns_greedily(m, [Churn()], max_iterations=4)
+
+    def test_benefit_ordering(self):
+        applied = []
+
+        class A(RewritePattern):
+            BENEFIT = 1
+
+            def match_and_rewrite(self, op, rewriter):
+                applied.append("low") if op.name == "arith.addi" else None
+                return False
+
+        class B(RewritePattern):
+            BENEFIT = 5
+
+            def match_and_rewrite(self, op, rewriter):
+                applied.append("high") if op.name == "arith.addi" else None
+                return False
+
+        m, _ = make_module()
+        apply_patterns_greedily(m, [A(), B()])
+        assert applied[0] == "high"
+
+
+class TestDeadOpElimination:
+    def test_erases_unused_pure_ops(self):
+        m, f = make_module()
+        add = [op for op in m.walk() if op.name == "arith.addi"][0]
+        add.erase()
+        # Constants now unused.
+        erased = erase_dead_ops(m)
+        assert erased == 2
+        assert len(f.body.operations) == 1  # only the return
+
+    def test_keeps_used_ops(self):
+        from repro.dialects import memref as memref_d
+        from repro.ir.types import MemRefType, f32
+
+        m = ModuleOp()
+        f = func_d.FuncOp("q", FunctionType([], []))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        buf = b.create(memref_d.AllocOp, MemRefType([4], f32))
+        b.create(memref_d.FillOp, buf.result, 1.0)  # side effect keeps chain
+        b.create(func_d.ReturnOp, [])
+        erased = erase_dead_ops(m)
+        assert erased == 0
+        assert any(op.name == "memref.alloc" for op in m.walk())
+
+    def test_cascading_erasure(self):
+        m, f = make_module()
+        # Body is c1, c2, add(unused), return: the add dies, then both
+        # constants become unused and die in later sweeps.
+        erased = erase_dead_ops(m)
+        assert erased == 3
+        assert [op.name for op in f.body.operations] == ["func.return"]

@@ -1,0 +1,374 @@
+"""Tests for the C4CAM transformation passes (torch→cim→cam)."""
+
+import numpy as np
+import pytest
+
+import repro.frontend.torch_api as torch
+from repro.arch import dse_spec, paper_spec
+from repro.dialects import cim as cim_d
+from repro.frontend import import_graph, placeholder, trace
+from repro.ir.traversal import count, first, walk
+from repro.ir.verifier import verify
+from repro.passes.pass_manager import PassManager
+from repro.transforms import (
+    CimFuseOpsPass,
+    CimPartitionPass,
+    CimToCamPass,
+    LoweringError,
+    SimilarityMatchingPass,
+    TorchToCimPass,
+    cam_search_metric,
+    compute_partition_plan,
+    match_similarity,
+    plan_of,
+    resolve_optimization,
+    subarrays_required,
+)
+from repro.transforms.partitioning import annotate
+
+
+def dot_module(p=10, d=256, q=4, k=1, largest=False):
+    w = np.ones((p, d), dtype=np.float32)
+
+    class M(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(w)
+
+        def forward(self, x):
+            others = self.weight.transpose(-2, -1)
+            mm = torch.matmul(x, others)
+            return torch.ops.aten.topk(mm, k, largest=largest)
+
+    return import_graph(trace(M(), [placeholder((q, d))])).module
+
+
+def euclid_module(p=16, d=64, k=3):
+    w = np.ones((p, d), dtype=np.float32)
+
+    class M(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(w)
+
+        def forward(self, q):
+            diff = torch.sub(q, self.weight)
+            dist = torch.norm(diff, p=2, dim=-1)
+            return torch.ops.aten.topk(dist, k, largest=False)
+
+    return import_graph(trace(M(), [placeholder((d,))])).module
+
+
+def cosine_module(p=8, d=64, q=2):
+    w = np.ones((p, d), dtype=np.float32)
+
+    class M(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(w)
+
+        def forward(self, x):
+            qn = torch.norm(x, p=2, dim=-1, keepdim=True)
+            sn = torch.norm(self.weight, p=2, dim=-1)
+            others = self.weight.transpose(-2, -1)
+            dots = torch.matmul(x, others)
+            return torch.div(dots, sn, qn)  # Algorithm 1: div(v4, v2, v1)
+
+    return import_graph(trace(M(), [placeholder((q, d))])).module
+
+
+class TestTorchToCim:
+    def test_each_op_gets_triple(self):
+        m = dot_module()
+        PassManager([TorchToCimPass()]).run(m)
+        # transpose, matmul, topk -> 3 triples
+        assert count(m, name="cim.acquire") == 3
+        assert count(m, name="cim.execute") == 3
+        assert count(m, name="cim.release") == 3
+        assert count(m, name="torch.aten.mm") == 0
+
+    def test_bodies_contain_cim_ops(self):
+        m = dot_module()
+        PassManager([TorchToCimPass()]).run(m)
+        assert count(m, name="cim.matmul") == 1
+        assert count(m, name="cim.transpose") == 1
+        assert count(m, name="cim.topk") == 1
+
+    def test_constants_left_alone(self):
+        m = dot_module()
+        PassManager([TorchToCimPass()]).run(m)
+        assert count(m, name="torch.constant.int") == 1
+
+
+class TestFusion:
+    def test_fuses_to_single_execute(self):
+        m = dot_module()
+        PassManager([TorchToCimPass(), CimFuseOpsPass()]).run(m)
+        assert count(m, name="cim.execute") == 1
+        assert count(m, name="cim.acquire") == 1
+        ex = first(m, name="cim.execute")
+        names = [op.name for op in ex.body.operations]
+        assert names == [
+            "cim.transpose", "cim.matmul", "cim.topk", "cim.yield",
+        ]
+
+    def test_fused_module_verifies(self):
+        m = dot_module()
+        PassManager([TorchToCimPass(), CimFuseOpsPass()]).run(m)
+        verify(m)
+
+    def test_euclidean_fusion(self):
+        m = euclid_module()
+        PassManager([TorchToCimPass(), CimFuseOpsPass()]).run(m)
+        ex = first(m, name="cim.execute")
+        names = [op.name for op in ex.body.operations]
+        assert names == ["cim.sub", "cim.norm", "cim.topk", "cim.yield"]
+
+    def test_unrelated_executes_not_fused(self):
+        # Two independent transposes: no producer/consumer relation.
+        w = np.ones((4, 8), dtype=np.float32)
+
+        def fn(a, b):
+            return a.transpose(0, 1), b.transpose(0, 1)
+
+        m = import_graph(
+            trace(fn, [placeholder((4, 8)), placeholder((4, 8))])
+        ).module
+        PassManager([TorchToCimPass(), CimFuseOpsPass()]).run(m)
+        assert count(m, name="cim.execute") == 2
+
+
+class TestSimilarityMatching:
+    def run_pipeline(self, m):
+        PassManager(
+            [TorchToCimPass(), CimFuseOpsPass(), SimilarityMatchingPass()]
+        ).run(m)
+        return m
+
+    def test_dot_pattern(self):
+        m = self.run_pipeline(dot_module())
+        sim = first(m, name="cim.similarity")
+        assert sim is not None
+        assert sim.metric == "dot"
+        assert sim.largest is False  # from topk largest=False (Fig. 4a)
+        assert sim.k == 1
+
+    def test_euclidean_pattern(self):
+        m = self.run_pipeline(euclid_module())
+        sim = first(m, name="cim.similarity")
+        assert sim.metric == "euclidean"
+        assert sim.k == 3
+        # stored must be the rank-2 weight operand
+        assert sim.stored.type.shape == (16, 64)
+
+    def test_cosine_pattern(self):
+        m = self.run_pipeline(cosine_module())
+        score = first(m, name="cim.score")
+        assert score is not None
+        assert score.metric == "cosine"
+
+    def test_unmatched_block_untouched(self):
+        def fn(a):
+            return a.transpose(0, 1)
+
+        m = import_graph(trace(fn, [placeholder((4, 8))])).module
+        self.run_pipeline(m)
+        assert first(m, name="cim.similarity") is None
+        assert count(m, name="cim.transpose") == 1
+
+    def test_match_returns_metric(self):
+        m = dot_module()
+        PassManager([TorchToCimPass(), CimFuseOpsPass()]).run(m)
+        ex = first(m, name="cim.execute")
+        assert match_similarity(ex) == "dot"
+
+    def test_wrong_op_count_no_match(self):
+        def fn(a, w):
+            t = w.transpose(-2, -1)
+            return torch.matmul(a, t)  # no topk: 3 ops with yield
+
+        m = import_graph(
+            trace(fn, [placeholder((4, 8)), placeholder((6, 8))])
+        ).module
+        PassManager([TorchToCimPass(), CimFuseOpsPass()]).run(m)
+        ex = first(m, name="cim.execute")
+        assert match_similarity(ex) is None
+
+    def test_module_verifies_after_match(self):
+        m = self.run_pipeline(dot_module())
+        verify(m)
+
+
+class TestPartitioning:
+    def test_table1_base_counts(self):
+        """Paper Table I, cam-based row — exact integers."""
+        expected = {16: 512, 32: 256, 64: 128, 128: 64, 256: 32}
+        for n, want in expected.items():
+            assert subarrays_required(10, 8192, dse_spec(n), False) == want
+
+    def test_table1_density_counts(self):
+        """Paper Table I, cam-density row — exact integers."""
+        expected = {16: 512, 32: 86, 64: 22, 128: 6, 256: 2}
+        for n, want in expected.items():
+            assert subarrays_required(10, 8192, dse_spec(n), True) == want
+
+    def test_plan_basic(self):
+        plan = compute_partition_plan(10, 8192, 1, dse_spec(32), False)
+        assert plan.row_tiles == 1 and plan.col_tiles == 256
+        assert plan.batches == 1
+        assert plan.subarrays == 256
+
+    def test_plan_density_batches(self):
+        plan = compute_partition_plan(10, 8192, 1, dse_spec(64), True)
+        assert plan.batches == 6
+        assert plan.subarrays == 22
+
+    def test_density_disabled_without_selective_search(self):
+        from dataclasses import replace
+
+        spec = replace(dse_spec(64), selective_search=False)
+        plan = compute_partition_plan(10, 8192, 1, spec, True)
+        assert plan.batches == 1
+
+    def test_density_no_gain_with_row_tiling(self):
+        # More patterns than rows: no batches possible.
+        plan = compute_partition_plan(100, 1024, 1, dse_spec(32), True)
+        assert plan.batches == 1
+        assert plan.row_tiles == 4
+
+    def test_tile_of_base(self):
+        plan = compute_partition_plan(64, 256, 1, dse_spec(32), False)
+        assert plan.row_tiles == 2 and plan.col_tiles == 8
+        assert plan.tile_of(0, 0) == (0, 0)
+        assert plan.tile_of(9, 0) == (1, 1)
+        assert plan.tile_of(16, 0) is None
+
+    def test_tile_of_batches(self):
+        plan = compute_partition_plan(10, 8192, 1, dse_spec(64), True)
+        assert plan.tile_of(0, 0) == (0, 0)
+        assert plan.tile_of(0, 5) == (0, 5)
+        # Subarray 21 holds column tiles 126, 127 (2 of its 6 slots used).
+        assert plan.tile_of(21, 1) == (0, 127)
+        assert plan.tile_of(21, 2) is None
+
+    def test_annotation_roundtrip(self):
+        m = dot_module()
+        PassManager(
+            [TorchToCimPass(), CimFuseOpsPass(), SimilarityMatchingPass(),
+             CimPartitionPass(dse_spec(32))]
+        ).run(m)
+        sim = first(m, name="cim.similarity")
+        plan = plan_of(sim)
+        assert plan.patterns == 10 and plan.features == 256
+        assert plan.queries == 4
+
+    def test_plan_of_missing_annotation(self):
+        m = dot_module()
+        PassManager(
+            [TorchToCimPass(), CimFuseOpsPass(), SimilarityMatchingPass()]
+        ).run(m)
+        sim = first(m, name="cim.similarity")
+        with pytest.raises(ValueError):
+            plan_of(sim)
+
+    def test_invalid_plan_inputs(self):
+        with pytest.raises(ValueError):
+            compute_partition_plan(0, 128, 1, dse_spec(32), False)
+
+
+class TestOptimizationConfig:
+    def test_latency_all_parallel(self):
+        config = resolve_optimization(dse_spec(32, "latency"))
+        assert all(m == "parallel" for m in config.modes.values())
+        assert not config.use_density
+
+    def test_power_serializes_subarrays(self):
+        config = resolve_optimization(dse_spec(32, "power"))
+        assert config.modes["subarray"] == "sequential"
+        assert config.modes["array"] == "parallel"
+
+    def test_density_flag(self):
+        assert resolve_optimization(dse_spec(32, "density")).use_density
+        both = resolve_optimization(dse_spec(32, "power+density"))
+        assert both.use_density
+        assert both.modes["subarray"] == "sequential"
+
+    def test_metric_substitution_tcam(self):
+        spec = dse_spec(32)
+        assert cam_search_metric("dot", spec) == ("hamming", True)
+        assert cam_search_metric("euclidean", spec) == ("hamming", False)
+
+    def test_metric_substitution_mcam(self):
+        spec = paper_spec(cam_type="mcam", bits_per_cell=2)
+        assert cam_search_metric("dot", spec) == ("dot", False)
+        assert cam_search_metric("euclidean", spec) == ("euclidean", False)
+
+    def test_metric_substitution_acam(self):
+        spec = paper_spec(cam_type="acam")
+        assert cam_search_metric("euclidean", spec) == ("euclidean", False)
+
+
+class TestCimToCam:
+    def lower(self, m, spec):
+        PassManager(
+            [TorchToCimPass(), CimFuseOpsPass(), SimilarityMatchingPass(),
+             CimPartitionPass(spec, resolve_optimization(spec).use_density),
+             CimToCamPass(spec)]
+        ).run(m)
+        return m
+
+    def test_no_cim_execute_left(self):
+        m = self.lower(dot_module(), dse_spec(32))
+        assert count(m, name="cim.execute") == 0
+        assert count(m, name="cim.acquire") == 0
+        assert count(m, name="cim.release") == 0
+
+    def test_cam_ops_emitted(self):
+        m = self.lower(dot_module(), dse_spec(32))
+        for name in (
+            "cam.alloc_bank", "cam.alloc_mat", "cam.alloc_array",
+            "cam.alloc_subarray", "cam.write_value", "cam.search",
+            "cam.read", "cam.merge_partial", "cam.select_topk",
+            "cam.query_start",
+        ):
+            assert count(m, name=name) >= 1, name
+
+    def test_module_verifies(self):
+        m = self.lower(dot_module(), dse_spec(32))
+        verify(m)
+
+    def test_base_config_all_parallel_loops(self):
+        m = self.lower(dot_module(), dse_spec(32, "latency"))
+        assert count(m, name="scf.parallel") >= 8
+
+    def test_power_config_has_sequential_subarray_loop(self):
+        m_base = self.lower(dot_module(), dse_spec(32, "latency"))
+        m_pow = self.lower(dot_module(), dse_spec(32, "power"))
+        assert count(m_pow, name="scf.parallel") < \
+            count(m_base, name="scf.parallel")
+
+    def test_density_emits_batched_searches(self):
+        spec = dse_spec(64, "density")
+        m = self.lower(dot_module(p=10, d=512), spec)
+        searches = [op for op in walk(m, name="cam.search")]
+        # 6 batches per subarray statically unrolled
+        assert len(searches) == 6
+        assert all(s.accumulate for s in searches)
+
+    def test_cosine_stays_on_host(self):
+        spec = dse_spec(32)
+        m = self.lower(cosine_module(), spec)
+        assert count(m, name="cim.score") == 1
+        assert count(m, name="cam.search") == 0
+
+    def test_indivisible_features_rejected(self):
+        spec = dse_spec(32)
+        m = dot_module(p=10, d=100)  # 100 % 32 != 0
+        with pytest.raises(Exception) as exc_info:
+            self.lower(m, spec)
+        assert "pad" in str(exc_info.value)
+
+    def test_bank_cap_respected(self):
+        from dataclasses import replace
+
+        spec = replace(dse_spec(16), banks=1)
+        m = dot_module(p=10, d=8192)  # needs 512 subarrays = 4 banks
+        with pytest.raises(Exception, match="bank"):
+            self.lower(m, spec)

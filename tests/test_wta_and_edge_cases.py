@@ -1,0 +1,188 @@
+"""WTA sensing, importer/executor edge cases and error paths."""
+
+import numpy as np
+import pytest
+
+import repro.frontend.torch_api as torch
+from repro.arch import paper_spec
+from repro.arch.technology import TechnologyModel
+from repro.compiler import C4CAMCompiler
+from repro.frontend import import_graph, placeholder, trace
+from repro.simulator import CamMachine
+
+
+class TestWtaSensing:
+    def test_ideal_adc_exact_values(self):
+        m = CamMachine(paper_spec())
+        values, idx, _d = m.select_topk(np.array([9.0, 1.0, 5.0]), 3, False)
+        assert values.tolist() == [1.0, 5.0, 9.0]
+
+    def test_wta_window_clamps_far_values(self):
+        tech = TechnologyModel(wta_window=2)
+        m = CamMachine(paper_spec(), tech)
+        values, idx, _d = m.select_topk(np.array([9.0, 1.0, 5.0]), 3, False)
+        # Indices stay correct; distant values clamp to winner + window.
+        assert idx.tolist() == [1, 2, 0]
+        assert values.max() <= 1.0 + 2
+
+    def test_wta_preserves_top1(self, dot_kernel, rng):
+        """Top-1 classification is unaffected by a WTA window."""
+        stored = rng.choice([-1.0, 1.0], (8, 128)).astype(np.float32)
+        queries = rng.choice([-1.0, 1.0], (4, 128)).astype(np.float32)
+        tech = TechnologyModel(wta_window=4)
+        kernel = C4CAMCompiler(paper_spec(), tech).compile(
+            dot_kernel(stored, k=1, largest=True), [placeholder((4, 128))]
+        )
+        _v, idx = kernel(queries)
+        expected = (queries @ stored.T).argmax(axis=1)
+        np.testing.assert_array_equal(idx.ravel(), expected)
+
+
+class TestImporterEdges:
+    def test_unreachable_tensor_rejected(self):
+        from repro.frontend.torch_api import Graph, Node, Tensor
+
+        graph = Graph()
+        stray = Tensor((2, 2), "f32", kind="placeholder")  # not registered
+        graph.outputs = [stray]
+        with pytest.raises(ValueError, match="not reachable"):
+            import_graph(graph)
+
+    def test_unsupported_node_rejected(self):
+        from repro.frontend.torch_api import Graph, Node, Tensor
+
+        graph = Graph()
+        ph = Tensor((2, 2), "f32", kind="placeholder")
+        graph.placeholders = [ph]
+        node = Node("conv2d", [ph], {}, [(2, 2)], ["f32"])
+        graph.add_node(node)
+        out = Tensor((2, 2), "f32", node=node)
+        graph.outputs = [out]
+        with pytest.raises(ValueError, match="unsupported traced op"):
+            import_graph(graph)
+
+    def test_custom_function_name(self, dot_kernel, rng):
+        stored = rng.choice([-1.0, 1.0], (4, 32)).astype(np.float32)
+        imported = import_graph(
+            trace(dot_kernel(stored), [placeholder((1, 32))]),
+            name="similarity_kernel",
+        )
+        assert imported.func.sym_name == "similarity_kernel"
+        assert imported.module.lookup_symbol("similarity_kernel") is not None
+
+
+class TestExecutorEdges:
+    def test_missing_function(self):
+        from repro.ir.module import ModuleOp
+        from repro.runtime.executor import ExecutionError, Interpreter
+
+        with pytest.raises(ExecutionError, match="no function"):
+            Interpreter(ModuleOp()).run_function("nope", [])
+
+    def test_argument_count_checked(self, dot_kernel, rng):
+        from repro.runtime.executor import ExecutionError, Interpreter
+
+        stored = rng.choice([-1.0, 1.0], (4, 32)).astype(np.float32)
+        m = import_graph(
+            trace(dot_kernel(stored), [placeholder((1, 32))])
+        ).module
+        with pytest.raises(ExecutionError, match="arguments"):
+            Interpreter(m).run_function("forward", [])
+
+    def test_nested_parallel_timing(self):
+        """parallel{parallel{search}} joins at one phase latency."""
+        from repro.dialects import arith as arith_d
+        from repro.dialects import cam as cam_d
+        from repro.dialects import func as func_d
+        from repro.dialects import memref as memref_d
+        from repro.dialects import scf as scf_d
+        from repro.ir import ModuleOp, OpBuilder
+        from repro.ir.types import FunctionType, MemRefType, f32
+        from repro.runtime.executor import Interpreter
+
+        spec = paper_spec()
+        m = ModuleOp()
+        f = func_d.FuncOp("main", FunctionType([], []))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        machine = CamMachine(spec)
+        bank = b.create(
+            cam_d.AllocBankOp,
+            b.create(arith_d.ConstantOp, 32).result,
+            b.create(arith_d.ConstantOp, 32).result,
+        )
+        mat = b.create(cam_d.AllocMatOp, bank.result)
+        qbuf = b.create(memref_d.AllocOp, MemRefType([1, 32], f32))
+        for _ in range(2):
+            arr = b.create(cam_d.AllocArrayOp, mat.result)
+            for _ in range(2):
+                s = b.create(cam_d.AllocSubarrayOp, arr.result)
+                d = b.create(memref_d.AllocOp, MemRefType([2, 32], f32))
+                b.create(cam_d.WriteValueOp, s.result, d.result)
+        c0 = b.create(arith_d.ConstantOp, 0)
+        c2 = b.create(arith_d.ConstantOp, 2)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        outer = b.create(scf_d.ParallelOp, c0.result, c2.result, c1.result)
+        ob = OpBuilder.at_end(outer.body)
+        inner = ob.create(scf_d.ParallelOp, c0.result, c2.result, c1.result)
+        ib = OpBuilder.at_end(inner.body)
+        lin = ib.create(arith_d.MulIOp, outer.induction_var, c2.result)
+        lin2 = ib.create(arith_d.AddIOp, lin.result, inner.induction_var)
+        ref = ib.create(cam_d.SubarrayRefOp, lin2.result)
+        ib.create(cam_d.SearchOp, ref.result, qbuf.result)
+        ib.create(scf_d.YieldOp, [])
+        ob.create(scf_d.YieldOp, [])
+        b.create(func_d.ReturnOp, [])
+        _out, report = Interpreter(m, machine).run_function("main", [])
+        one_phase = machine.tech.search_phase_latency(spec)
+        assert report.query_latency_ns == pytest.approx(one_phase)
+
+    def test_empty_loop_body_zero_time(self):
+        from repro.dialects import arith as arith_d
+        from repro.dialects import func as func_d
+        from repro.dialects import scf as scf_d
+        from repro.ir import ModuleOp, OpBuilder
+        from repro.ir.types import FunctionType
+        from repro.runtime.executor import Interpreter
+
+        m = ModuleOp()
+        f = func_d.FuncOp("main", FunctionType([], []))
+        m.append(f)
+        b = OpBuilder.at_end(f.body)
+        c0 = b.create(arith_d.ConstantOp, 0)
+        c9 = b.create(arith_d.ConstantOp, 9)
+        c1 = b.create(arith_d.ConstantOp, 1)
+        loop = b.create(scf_d.ForOp, c0.result, c9.result, c1.result)
+        OpBuilder.at_end(loop.body).create(scf_d.YieldOp, [])
+        b.create(func_d.ReturnOp, [])
+        machine = CamMachine(paper_spec())
+        _out, report = Interpreter(m, machine).run_function("main", [])
+        assert report.query_latency_ns == 0.0
+
+
+class TestTracerEdges:
+    def test_tensor_api_repr(self):
+        t = placeholder((2, 3))
+        assert "shape=(2, 3)" in repr(t)
+
+    def test_trace_with_kwargs_unsupported_types(self):
+        with pytest.raises(Exception):
+            trace(lambda x: torch.matmul(x, "nope"), [placeholder((2, 2))])
+
+    def test_parameter_reuse_across_traces(self, rng):
+        """One Module instance traced twice registers its parameter in
+        both graphs."""
+        stored = rng.choice([-1.0, 1.0], (4, 32)).astype(np.float32)
+
+        class M(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(stored)
+
+            def forward(self, x):
+                return torch.matmul(x, self.weight.transpose(-2, -1))
+
+        mod = M()
+        g1 = trace(mod, [placeholder((1, 32))])
+        g2 = trace(mod, [placeholder((2, 32))])
+        assert len(g1.parameters) == 1
+        assert len(g2.parameters) == 1

@@ -85,6 +85,19 @@ class HDCModel:
         example = [placeholder((n_queries, self.dimensions))]
         return DotSimilarity(), example
 
+    def classify_cam(self, kernel, x: np.ndarray) -> np.ndarray:
+        """Classify raw inputs on the CAM via a compiled kernel.
+
+        Encodes ``x`` (``B×F``) into query hypervectors and streams the
+        whole matrix through the kernel's cached
+        :class:`~repro.runtime.session.QuerySession` in one batched run —
+        the prototypes are programmed once, any ``B`` is accepted
+        regardless of the traced batch size.
+        """
+        hv = self.encode_queries(np.atleast_2d(x))
+        _values, indices = kernel.run_batch(hv)
+        return indices.reshape(len(hv)).astype(np.int64)
+
     def classify_reference(self, queries_hv: np.ndarray) -> np.ndarray:
         """Golden-model classification (numpy dot similarity)."""
         scores = queries_hv.astype(np.float64) @ self.prototypes.T.astype(np.float64)

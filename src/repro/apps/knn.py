@@ -63,6 +63,23 @@ class KNNModel:
         labels = self.train_y[np.asarray(neighbour_indices).reshape(-1)]
         return int(np.bincount(labels).argmax())
 
+    def classify_cam(
+        self, kernel, queries: np.ndarray
+    ) -> np.ndarray:
+        """Classify a ``B×D`` query matrix on the CAM.
+
+        ``kernel`` is the compiled single-query kernel (see
+        :meth:`kernel`); the whole matrix streams through its cached
+        :class:`~repro.runtime.session.QuerySession` in one batched run
+        (patterns are programmed once), then each query's neighbours are
+        majority-voted.
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        _values, indices = kernel.run_batch(queries)
+        return np.array(
+            [self.vote(row) for row in indices], dtype=np.int64
+        )
+
     def classify_reference(self, queries: np.ndarray) -> np.ndarray:
         """Golden-model KNN classification."""
         out = np.empty(len(queries), dtype=np.int64)

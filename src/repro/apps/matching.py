@@ -103,44 +103,73 @@ class PatternMatcher:
         ``threshold=0`` is exact match (EX); larger thresholds give the
         TH scheme of paper §II-B.  Don't-care cells never mismatch.
         """
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        if query.shape[0] != self.patterns.shape[1]:
+        return self.lookup_batch(
+            np.asarray(query, dtype=np.float64).reshape(1, -1), threshold
+        )[0]
+
+    def lookup_batch(
+        self, queries: np.ndarray, threshold: float = 0.0
+    ) -> List[MatchResult]:
+        """Vectorized :meth:`lookup` over a ``B×D`` query matrix.
+
+        The whole batch streams through each subarray in one machine
+        call (batched match-line computation); results come back per
+        query.  Timing follows the program-once model: the batch
+        occupies the machine for ``B ×`` the single-lookup latency.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.patterns.shape[1]:
             raise ValueError(
-                f"query width {query.shape[0]} does not match pattern "
+                f"query width {queries.shape[1]} does not match pattern "
                 f"width {self.patterns.shape[1]}"
             )
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
         plan, m = self.plan, self.machine
         m.begin_query()
-        self._queries += 1
+        self._queries += n_queries
         t0 = self._time + self.tech.frontend_latency(self.spec)
-        scores = np.zeros(plan.patterns)
+        scores = np.zeros((n_queries, plan.patterns))
         phase = 0.0
         search_type = "exact" if threshold == 0.0 else "threshold"
         for lin, sub in enumerate(self._sub_ids):
             rp, cp = lin // plan.col_tiles, lin % plan.col_tiles
-            qslice = query[cp * plan.col_tile : (cp + 1) * plan.col_tile]
+            qslice = queries[:, cp * plan.col_tile : (cp + 1) * plan.col_tile]
             dur = m.search(
                 sub, qslice, search_type=search_type, metric="hamming",
                 row_count=plan.row_tile, at=t0,
-            )
+            ) / n_queries
             phase = max(phase, dur)
-            vals, _idx, rdur = m.read(sub, plan.row_tile, at=t0 + dur)
-            phase = max(phase, dur + rdur)
-            n = min(len(vals), plan.patterns - rp * plan.row_tile)
-            scores[rp * plan.row_tile : rp * plan.row_tile + n] += vals[:n]
-            m.merge("subarray", n, at=t0 + phase)
-        mask = threshold_match(scores, threshold, prefers_larger=False)
-        hits = np.flatnonzero(mask)
-        self._time = (
-            t0 + phase + 3 * self.tech.merge_latency("array")
+            vals, _idx, rdur = m.read_batch(sub, plan.row_tile, at=t0 + dur)
+            phase = max(phase, dur + rdur / n_queries)
+            n = min(vals.shape[-1], plan.patterns - rp * plan.row_tile)
+            row0 = rp * plan.row_tile
+            scores[:, row0 : row0 + n] += vals[:, :n]
+            m.merge("subarray", n, at=t0 + phase, n_queries=n_queries)
+        per_query = (
+            self.tech.frontend_latency(self.spec) + phase
+            + 3 * self.tech.merge_latency("array")
             + self.tech.host_topk_latency(plan.patterns)
         )
-        return MatchResult(
-            indices=hits.astype(np.int64), distances=scores[hits]
-        )
+        self._time += n_queries * per_query
+        mask = threshold_match(scores, threshold, prefers_larger=False)
+        results = []
+        for i, row in enumerate(mask):
+            hits = np.flatnonzero(row)
+            results.append(
+                MatchResult(
+                    indices=hits.astype(np.int64), distances=scores[i][hits]
+                )
+            )
+        return results
 
     def report(self) -> ExecutionReport:
-        """Metrics over every lookup performed so far."""
+        """Metrics over every lookup performed so far.
+
+        ``queries`` is the true lookup count (possibly 0 — use the
+        report's ``per_query_*`` helpers for guarded averages).
+        """
         rep = self.machine.finish(self._time, self.setup_time)
-        rep.queries = max(1, self._queries)
+        rep.queries = self._queries
         return rep

@@ -74,8 +74,9 @@ class RecSysPipeline:
         self.matcher = PatternMatcher(self.item_filters, filter_spec, tech)
         # Stage 2 (MCAM banks): native dot product on real embeddings.
         self.rank_spec = replace(spec, cam_type="mcam", bits_per_cell=2)
-        # Stage 2: compiled similarity kernel (bank set B, fresh machine
-        # per execution by construction of CompiledKernel).
+        # Stage 2: compiled similarity kernel (bank set B); its cached
+        # QuerySession programs the embeddings once and serves every
+        # recommend() call from the live machine.
         self._rank_kernel = None
 
     @property
@@ -115,13 +116,13 @@ class RecSysPipeline:
         """
         match = self.matcher.lookup(context_tags, filter_threshold)
         filter_report = self.matcher.report()
-        filter_lat = filter_report.query_latency_ns / filter_report.queries
+        filter_lat = filter_report.per_query_latency_ns
 
         kernel = self._ranking_kernel()
         user = np.asarray(user_embedding, dtype=np.float32).reshape(1, -1)
         values, indices = kernel(user)
         rank_report = kernel.last_report
-        rank_lat = rank_report.query_latency_ns / rank_report.queries
+        rank_lat = rank_report.per_query_latency_ns
 
         allowed = set(int(i) for i in match.indices)
         ranked = [

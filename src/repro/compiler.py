@@ -20,6 +20,21 @@ Typical usage::
     kernel = compiler.compile(model, example_inputs=[...])
     outputs = kernel(queries)
     print(kernel.last_report.summary())
+
+Execution model — program once, query many.  The CAM is a
+program-once / query-many device: the first execution of a kernel opens
+a cached :class:`~repro.runtime.session.QuerySession` that allocates the
+hierarchy and programs every stored-pattern tile; subsequent calls
+stream their queries against the live machine without re-programming.
+``kernel(queries)`` therefore accepts *any* batch size (not only the
+traced one), ``kernel.run_batch(Q)`` makes the batched entry point
+explicit, and ``kernel.reset()`` drops the session for a from-scratch
+machine.  Per-batch reports charge the one-time setup (write)
+energy/latency separately from the query clock and expose
+``throughput_qps``; see :mod:`repro.runtime.session` for the amortized
+timing semantics.  Construct with ``cache_session=False`` to restore the
+legacy fresh-machine-per-call behaviour (used as the baseline in
+``benchmarks/test_batch_throughput.py``).
 """
 
 from __future__ import annotations
@@ -37,6 +52,7 @@ from repro.ir.module import ModuleOp
 from repro.ir.printer import print_module
 from repro.passes.pass_manager import PassManager
 from repro.runtime.executor import Interpreter
+from repro.runtime.session import QueryProgram, QuerySession, SessionError
 from repro.simulator.machine import CamMachine
 from repro.simulator.metrics import ExecutionReport
 from repro.transforms import (
@@ -67,7 +83,13 @@ def build_pipeline(spec: ArchSpec, lower_to_cam: bool = True) -> PassManager:
 
 
 class CompiledKernel:
-    """A compiled, executable kernel bound to an architecture."""
+    """A compiled, executable kernel bound to an architecture.
+
+    Machine-lowered kernels execute through a cached
+    :class:`~repro.runtime.session.QuerySession` (program once, query
+    many); ``cache_session=False`` forces the legacy behaviour of a
+    fresh machine and a full interpreter walk per call.
+    """
 
     def __init__(
         self,
@@ -79,6 +101,8 @@ class CompiledKernel:
         uses_machine: bool = True,
         noise_sigma: float = 0.0,
         noise_seed: int = 0,
+        query_programs: Sequence[QueryProgram] = (),
+        cache_session: bool = True,
     ):
         self.module = module
         self.spec = spec
@@ -88,22 +112,115 @@ class CompiledKernel:
         self.uses_machine = uses_machine
         self.noise_sigma = noise_sigma
         self.noise_seed = noise_seed
+        self.query_programs = list(query_programs)
+        self.cache_session = cache_session
         self.last_report: Optional[ExecutionReport] = None
         self.last_machine: Optional[CamMachine] = None
+        self._session: Optional[QuerySession] = None
+        self._program_serves_function: Optional[bool] = None
+        # Device noise decorrelates across calls: every execution draws a
+        # fresh child seed from one deterministic SeedSequence, so equal
+        # noise_seed still reproduces the same call-by-call realizations.
+        self._noise_seq = np.random.SeedSequence(noise_seed)
+
+    @property
+    def _sessionable(self) -> bool:
+        """True when calls can stream through a cached QuerySession.
+
+        Beyond having exactly one lowered similarity program, the traced
+        function must return exactly that program's (values, indices) —
+        a model that reorders or post-processes the similarity outputs
+        takes the full interpreter walk, which reproduces its dataflow.
+        """
+        if self._program_serves_function is None:
+            func = self.module.lookup_symbol(self.func_name)
+            self._program_serves_function = (
+                len(self.query_programs) == 1
+                and func is not None
+                and self.query_programs[0].matches_function(func)
+            )
+        return (
+            self.uses_machine
+            and self.cache_session
+            and self._program_serves_function
+        )
+
+    def _open_session(self) -> QuerySession:
+        if not self.uses_machine or len(self.query_programs) != 1:
+            raise SessionError(
+                "batched sessions need a machine-lowered kernel with "
+                "exactly one similarity program"
+            )
+        _ = self._sessionable  # populate the cached structural check
+        if not self._program_serves_function:
+            raise SessionError(
+                "the traced function does not return the similarity "
+                "program's (values, indices) directly; run it through "
+                "__call__ so the interpreter reproduces its dataflow"
+            )
+        return QuerySession(
+            self.module,
+            self.spec,
+            self.tech,
+            self.parameters,
+            self.query_programs[0],
+            func_name=self.func_name,
+            noise_sigma=self.noise_sigma,
+            noise_seed=self._noise_seq.spawn(1)[0],
+        )
+
+    def session(self) -> QuerySession:
+        """The cached query session, opened (machine programmed) lazily.
+
+        With ``cache_session=False`` a *fresh* session is returned per
+        call — the kernel keeps no machine state between executions."""
+        if not self.cache_session:
+            return self._open_session()
+        if self._session is None:
+            self._session = self._open_session()
+        return self._session
+
+    def reset(self) -> None:
+        """Drop the cached session: the next call re-allocates and
+        re-programs a fresh machine (and restarts the noise sequence)."""
+        self._session = None
+        self.last_report = None
+        self.last_machine = None
+        self._noise_seq = np.random.SeedSequence(self.noise_seed)
+
+    def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+        """Answer a ``B×D`` query batch on the live session machine.
+
+        Setup (pattern programming) is charged once per session; the
+        batch report (``last_report``) accounts ``B ×`` the structural
+        per-query latency and exposes ``throughput_qps``.
+        """
+        session = self.session()
+        outputs = session.run_batch(queries)
+        self.last_report = session.last_report
+        self.last_machine = session.machine
+        return outputs
 
     def __call__(self, *inputs: np.ndarray) -> List[np.ndarray]:
-        """Execute with fresh machine state; returns the kernel outputs.
+        """Execute the kernel; returns the kernel outputs.
 
-        Captured module parameters (e.g. the stored patterns) are appended
-        automatically, matching the traced signature.
+        Captured module parameters (e.g. the stored patterns) are
+        appended automatically, matching the traced signature.  With a
+        cached session (the default for machine-lowered kernels) the
+        stored patterns are programmed on the first call only and any
+        query-batch size is accepted; otherwise the machine is rebuilt
+        and re-programmed per call and inputs must match the traced
+        shapes.
         """
+        if self._sessionable and len(inputs) == 1:
+            return self.run_batch(inputs[0])
         machine = None
         if self.uses_machine:
             machine = CamMachine(
                 self.spec,
                 self.tech,
                 noise_sigma=self.noise_sigma,
-                noise_seed=self.noise_seed,
+                noise_seed=self._noise_seq.spawn(1)[0],
             )
         interpreter = Interpreter(self.module, machine)
         all_inputs = list(inputs) + self.parameters
@@ -140,17 +257,25 @@ class C4CAMCompiler:
         lower_to_cam: bool = True,
         noise_sigma: float = 0.0,
         noise_seed: int = 0,
+        cache_session: bool = True,
     ) -> CompiledKernel:
         """Full pipeline: trace → torch IR → cim → cam.
 
         With ``lower_to_cam=False`` the kernel stays at the cim level and
         executes on the host reference path (useful for validation).
         ``noise_sigma`` enables device-variation modeling: Gaussian
-        sensing noise on every match-line score (accuracy studies).
+        sensing noise on every match-line score (accuracy studies); the
+        realization decorrelates across calls while staying reproducible
+        for a fixed ``noise_seed``.  ``cache_session=False`` disables the
+        program-once query session and re-programs the machine per call.
         """
         module, params = self.import_torchscript(fn, example_inputs)
         pipeline = build_pipeline(self.spec, lower_to_cam=lower_to_cam)
         pipeline.run(module)
+        programs = []
+        for pass_ in pipeline.passes:
+            if isinstance(pass_, CimToCamPass):
+                programs.extend(pass_.programs)
         return CompiledKernel(
             module,
             self.spec,
@@ -159,6 +284,8 @@ class C4CAMCompiler:
             uses_machine=lower_to_cam,
             noise_sigma=noise_sigma,
             noise_seed=noise_seed,
+            query_programs=programs,
+            cache_session=cache_session,
         )
 
     def reference(

@@ -33,11 +33,11 @@ class SweepPoint:
 
     @property
     def latency_ns(self) -> float:
-        return self.report.query_latency_ns / self.report.queries
+        return self.report.per_query_latency_ns
 
     @property
     def energy_pj(self) -> float:
-        return self.report.energy.query_total / self.report.queries
+        return self.report.per_query_energy_pj
 
     @property
     def power_mw(self) -> float:

@@ -1,6 +1,15 @@
-"""Runtime: the IR interpreter and host reference semantics."""
+"""Runtime: the IR interpreter, batched query sessions and host
+reference semantics."""
 
 from .executor import ExecutionError, Interpreter
+from .session import QueryProgram, QuerySession, SessionError
 from . import values
 
-__all__ = ["ExecutionError", "Interpreter", "values"]
+__all__ = [
+    "ExecutionError",
+    "Interpreter",
+    "QueryProgram",
+    "QuerySession",
+    "SessionError",
+    "values",
+]

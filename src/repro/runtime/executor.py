@@ -16,6 +16,13 @@ control structure:
 The same interpreter executes pre-lowering IR (torch / cim dialects) with
 numpy semantics at zero cost — that is the host reference path used for
 functional validation.
+
+The ``cam`` handlers are batch-tolerant: score buffers and partials may
+carry a leading query-batch axis (one row per in-flight query), in which
+case reads, merges and the final top-k operate on the whole batch in one
+vectorized step.  :class:`repro.runtime.session.QuerySession` uses the
+same machine entry points to stream query batches against a machine that
+was programmed once.
 """
 
 from __future__ import annotations
@@ -61,7 +68,15 @@ class Interpreter:
         self.module = module
         self.machine = machine
         self.setup_time = 0.0
+        # Queries answered: each cam.query_start opens a segment that
+        # counts 1 query, widened to B when a batched (B×C) search
+        # streams through it.
         self.query_count = 0
+        self._segment_batch = 0
+
+    def _flush_query_segment(self) -> None:
+        self.query_count += self._segment_batch
+        self._segment_batch = 0
 
     # ------------------------------------------------------------- running
     def run_function(
@@ -84,11 +99,15 @@ class Interpreter:
         for arg, value in zip(block.arguments, inputs):
             env.set(arg, _coerce_input(arg, value))
         results, t_end = self._run_block(block, env, 0.0)
+        self._flush_query_segment()
         outputs = [np.asarray(r) for r in results]
         report = None
         if self.machine is not None:
             report = self.machine.finish(t_end, self.setup_time)
-            report.queries = max(1, self.query_count)
+            # The true count: a setup-only walk reports 0 queries rather
+            # than masquerading as 1 (consumers guard their divisions via
+            # ExecutionReport.per_query_*).
+            report.queries = self.query_count
         return outputs, report
 
     def _run_block(self, block, env: _Env, t: float):
@@ -409,7 +428,8 @@ def _cam_subarray_ref(ip, op, env, t):
 def _cam_query_start(ip, op, env, t):
     machine = ip._require_machine(op)
     machine.begin_query()
-    ip.query_count += 1
+    ip._flush_query_segment()
+    ip._segment_batch = 1
     return t + machine.frontend_latency()
 
 
@@ -429,9 +449,12 @@ def _cam_write_value(ip, op, env, t):
 @_op("cam.search")
 def _cam_search(ip, op, env, t):
     machine = ip._require_machine(op)
+    query = np.asarray(env.get(op.operands[1]))
+    if query.ndim > 1 and query.shape[0] > ip._segment_batch:
+        ip._segment_batch = query.shape[0]
     duration = machine.search(
         env.get(op.operands[0]),
-        np.asarray(env.get(op.operands[1])),
+        query,
         search_type=op.search_type,
         metric=op.metric,
         row_begin=op.row_begin,
@@ -445,10 +468,16 @@ def _cam_search(ip, op, env, t):
 @_op("cam.read")
 def _cam_read(ip, op, env, t):
     machine = ip._require_machine(op)
-    values, indices, duration = machine.read(
+    values, indices, duration = machine.read_batch(
         env.get(op.operands[0]), op.rows, at=t
     )
-    env.set(op.results[0], values.reshape(-1, 1))
+    if values.shape[0] == 1:
+        # Single-query latch bank: column-vector layout, as the
+        # per-query merge nest expects.
+        env.set(op.results[0], values[0].reshape(-1, 1))
+    else:
+        # Batched latch bank (QuerySession path): one row per query.
+        env.set(op.results[0], values)
     env.set(op.results[1], indices.reshape(-1, 1))
     return t + duration
 
@@ -456,34 +485,61 @@ def _cam_read(ip, op, env, t):
 @_op("cam.merge_partial")
 def _cam_merge_partial(ip, op, env, t):
     machine = ip._require_machine(op)
-    acc = env.get(op.operands[0]).reshape(-1)
-    partial = np.asarray(env.get(op.operands[1])).reshape(-1)
+    acc = env.get(op.operands[0])
+    partial = np.asarray(env.get(op.operands[1]))
     if op.num_operands > 2:
         offset = int(env.get(op.operands[2]))
     else:
         offset = op.row_offset
-    n = min(partial.shape[0], acc.shape[0] - offset)
+    batched = (
+        acc.ndim == 2 and partial.ndim == 2
+        and acc.shape[0] == partial.shape[0] and acc.shape[0] > 1
+    )
+    if not batched:
+        # A single-query partial is a column vector (rows, 1); a (B>1,
+        # rows>1) matrix is a batched latch bank that must not be
+        # flattened into a per-query accumulator.
+        if partial.ndim == 2 and partial.shape[0] > 1 and partial.shape[1] > 1:
+            raise ExecutionError(
+                f"cam.merge_partial: batched partial of {partial.shape[0]} "
+                f"queries needs an accumulator with a matching batch "
+                f"axis, got shape {acc.shape}"
+            )
+        acc = acc.reshape(-1)
+        partial = partial.reshape(-1)
+    n = min(partial.shape[-1], acc.shape[-1] - offset)
+    n_queries = acc.shape[0] if batched else 1
     if n > 0:
         if op.direction == "horizontal":
-            acc[offset : offset + n] += partial[:n]
+            acc[..., offset : offset + n] += partial[..., :n]
         else:
-            acc[offset : offset + n] = partial[:n]
-    duration = machine.merge(op.level, max(n, 0), at=t)
+            acc[..., offset : offset + n] = partial[..., :n]
+    duration = machine.merge(op.level, max(n, 0), at=t, n_queries=n_queries)
     return t + duration
 
 
 @_op("cam.sync")
 def _cam_sync(ip, op, env, t):
     machine = ip._require_machine(op)
-    return t + machine.merge(op.level, op.rows, at=t)
+    # A batched walk streams every in-flight query through the hop.
+    n_queries = max(ip._segment_batch, 1)
+    return t + machine.merge(op.level, op.rows, at=t, n_queries=n_queries)
 
 
 @_op("cam.select_topk")
 def _cam_select_topk(ip, op, env, t):
     machine = ip._require_machine(op)
-    scores = env.get(op.operands[0]).reshape(-1)
+    scores = env.get(op.operands[0])
+    if scores.ndim == 2 and scores.shape[0] > 1:
+        # Batched score matrix (one row per query): per-query top-k.
+        values, indices, duration = machine.select_topk_batch(
+            scores, op.k, op.largest, at=t
+        )
+        env.get(op.operands[1])[:, : op.k] = values
+        env.get(op.operands[2])[:, : op.k] = indices
+        return t + duration
     values, indices, duration = machine.select_topk(
-        scores, op.k, op.largest, at=t
+        scores.reshape(-1), op.k, op.largest, at=t
     )
     env.get(op.operands[1]).reshape(-1)[: op.k] = values
     env.get(op.operands[2]).reshape(-1)[: op.k] = indices

@@ -15,11 +15,18 @@ from .cells import (
     euclidean_sq_distance,
     hamming_distance,
     metric_prefers_larger,
+    perfect_score,
     quantize,
 )
 from .machine import AllocationError, CamMachine
 from .metrics import EnergyBreakdown, ExecutionReport
-from .peripherals import best_match, exact_match, priority_encode, threshold_match
+from .peripherals import (
+    best_match,
+    best_match_batch,
+    exact_match,
+    priority_encode,
+    threshold_match,
+)
 from .subarray import SubarrayState
 from .trace import Trace, TraceEvent
 
@@ -39,12 +46,14 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "best_match",
+    "best_match_batch",
     "compute_scores",
     "dot_similarity",
     "euclidean_sq_distance",
     "exact_match",
     "hamming_distance",
     "metric_prefers_larger",
+    "perfect_score",
     "priority_encode",
     "quantize",
     "threshold_match",

@@ -46,32 +46,39 @@ def quantize(data: np.ndarray, bits: int) -> np.ndarray:
 def hamming_distance(stored: np.ndarray, query: np.ndarray) -> np.ndarray:
     """Per-row count of mismatching cells (don't-cares never mismatch).
 
-    ``stored`` is ``R×C`` integer codes, ``query`` is length-``C``.
-    Returns a length-``R`` float vector.
+    ``stored`` is ``R×C`` integer codes, ``query`` is length-``C`` or a
+    ``B×C`` batch.  Returns a length-``R`` vector (``B×R`` for batches).
     """
-    mism = stored != query[None, :]
+    query = np.asarray(query)
+    mism = stored != query[..., None, :]
     mism &= ~is_dont_care(stored)
-    return mism.sum(axis=1).astype(np.float64)
+    return mism.sum(axis=-1).astype(np.float64)
 
 
 def euclidean_sq_distance(stored: np.ndarray, query: np.ndarray) -> np.ndarray:
     """Per-row squared Euclidean distance (ACAM/MCAM analog metric).
 
     Don't-care cells contribute zero distance (an ACAM cell with an
-    unbounded range matches any query value).
+    unbounded range matches any query value).  ``query`` may be a batch
+    (``B×C`` → ``B×R`` scores).
     """
-    diff = stored.astype(np.float64) - query.astype(np.float64)[None, :]
+    query = np.asarray(query).astype(np.float64)
+    diff = stored.astype(np.float64) - query[..., None, :]
     diff = np.where(is_dont_care(stored), 0.0, diff)
-    return (diff * diff).sum(axis=1)
+    return (diff * diff).sum(axis=-1)
 
 
 def dot_similarity(stored: np.ndarray, query: np.ndarray) -> np.ndarray:
     """Per-row dot product (multi-bit similarity search).
 
-    Don't-care cells contribute nothing to the sum.
+    Don't-care cells contribute nothing to the sum.  ``query`` may be a
+    batch (``B×C`` → ``B×R`` scores).
     """
     s = np.where(is_dont_care(stored), 0.0, stored.astype(np.float64))
-    return s @ query.astype(np.float64)
+    # Broadcast-multiply + pairwise sum (not BLAS matmul) so batched and
+    # single-query scores reduce in the same order — bitwise identical.
+    query = np.asarray(query).astype(np.float64)
+    return (s * query[..., None, :]).sum(axis=-1)
 
 
 #: metric name -> (function, True when larger score means better match)
@@ -82,15 +89,49 @@ METRIC_FUNCTIONS = {
 }
 
 
+#: Query-batch rows scored per vectorized step.  The batched kernels
+#: materialize a ``chunk × R × C`` temporary; chunking bounds that to a
+#: few MB regardless of the serving batch size.  Per-row reductions are
+#: independent, so chunking is bitwise-invisible.
+BATCH_CHUNK = 256
+
+
 def compute_scores(metric: str, stored: np.ndarray, query: np.ndarray) -> np.ndarray:
-    """Dispatch to the metric implementation."""
+    """Dispatch to the metric implementation.
+
+    ``query`` may be a single query (``C``) or a batch (``B×C``);
+    batches are scored in :data:`BATCH_CHUNK`-row chunks to bound the
+    broadcast temporaries.
+    """
     try:
         fn, _ = METRIC_FUNCTIONS[metric]
     except KeyError:
         raise ValueError(f"unknown CAM metric: {metric!r}") from None
+    query = np.asarray(query)
+    if query.ndim > 1 and query.shape[0] > BATCH_CHUNK:
+        return np.concatenate([
+            fn(stored, query[i : i + BATCH_CHUNK])
+            for i in range(0, query.shape[0], BATCH_CHUNK)
+        ])
     return fn(stored, query)
 
 
 def metric_prefers_larger(metric: str) -> bool:
     """True when a larger score is a better match for ``metric``."""
     return METRIC_FUNCTIONS[metric][1]
+
+
+def perfect_score(metric: str, query: np.ndarray) -> float:
+    """The score a stored row identical to ``query`` would produce.
+
+    Distance metrics bottom out at 0; similarity metrics peak at the
+    query's self-similarity.  This is the reference an EX (exact-match)
+    sensing scheme compares against — the best *observed* score is not an
+    exact match unless it reaches this value.
+    """
+    if metric not in METRIC_FUNCTIONS:
+        raise ValueError(f"unknown CAM metric: {metric!r}")
+    if not metric_prefers_larger(metric):
+        return 0.0
+    query = np.asarray(query, dtype=np.float64).reshape(1, -1)
+    return float(compute_scores(metric, query, query[0])[0])

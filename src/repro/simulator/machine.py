@@ -23,7 +23,7 @@ from repro.arch.technology import FEFET_45NM, TechnologyModel
 
 from .cells import metric_prefers_larger
 from .metrics import EnergyBreakdown, ExecutionReport
-from .peripherals import best_match
+from .peripherals import best_match_batch
 from .subarray import SubarrayState
 from .trace import Trace
 
@@ -145,24 +145,39 @@ class CamMachine:
         accumulate: bool = False,
         at: float = 0.0,
     ) -> float:
-        """Search one subarray; returns the phase duration (ns)."""
+        """Search one subarray; returns the phase duration (ns).
+
+        ``query`` is one query (``C``) or a batch (``B×C``).  A batch
+        streams serially through the match lines — duration and energy
+        scale by ``B`` — but the functional scores for the whole batch
+        are computed in one vectorized step and latched per query.
+        """
         sub = self._subarrays[sub_id]
+        query = np.asarray(query)
+        n_queries = query.shape[0] if query.ndim > 1 else 1
         noise = None
         if self.noise_sigma > 0.0:
             # ML sensing noise grows with the discharge path length (~√C).
             scale = self.noise_sigma * np.sqrt(query.shape[-1])
-            noise = lambda n: self._noise_rng.normal(0.0, scale, size=n)
+            noise = lambda shape: self._noise_rng.normal(
+                0.0, scale, size=shape
+            )
         _scores, active_rows = sub.search(
             query, metric, row_begin, row_count, accumulate, noise=noise
         )
         selective = accumulate or row_begin > 0
-        duration = self.tech.search_phase_latency(self.spec, selective)
-        energy = self.tech.search_energy(self.spec, active_rows, accumulate)
+        duration = n_queries * self.tech.search_phase_latency(
+            self.spec, selective
+        )
+        energy = n_queries * self.tech.search_energy(
+            self.spec, active_rows, accumulate
+        )
         self.energy.search += energy
-        self.total_searches += 1
+        self.total_searches += n_queries
         self.trace.record(
             "search", f"subarray:{sub_id}", at, duration, energy,
-            f"type={search_type} metric={metric} rows={active_rows}",
+            f"type={search_type} metric={metric} rows={active_rows} "
+            f"queries={n_queries}",
         )
         return duration
 
@@ -170,20 +185,39 @@ class CamMachine:
         self, sub_id: int, rows: int, at: float = 0.0
     ) -> Tuple[np.ndarray, np.ndarray, float]:
         """Read results of the last search: (values, indices, duration)."""
+        values, indices, duration = self.read_batch(sub_id, rows, at=at)
+        return values[0], indices, duration
+
+    def read_batch(
+        self, sub_id: int, rows: int, at: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Read the whole latch bank of the last (batched) search.
+
+        Returns ``(B×rows values, local indices, duration)``; duration
+        and energy are charged once per latched query.
+        """
         sub = self._subarrays[sub_id]
-        values, indices = sub.read(rows)
-        duration = self.tech.read_latency(self.spec, rows)
-        energy = self.tech.read_energy(self.spec, rows)
+        values, indices = sub.read_batch(rows)
+        n_queries = values.shape[0]
+        duration = n_queries * self.tech.read_latency(self.spec, rows)
+        energy = n_queries * self.tech.read_energy(self.spec, rows)
         self.energy.read += energy
         self.trace.record(
-            "read", f"subarray:{sub_id}", at, duration, energy, f"rows={rows}"
+            "read", f"subarray:{sub_id}", at, duration, energy,
+            f"rows={rows} queries={n_queries}",
         )
         return values, indices, duration
 
-    def merge(self, level: str, rows: int, at: float = 0.0) -> float:
-        """Merge partial scores across one hierarchy hop; returns duration."""
-        duration = self.tech.merge_latency(level)
-        energy = self.tech.merge_energy(level, rows)
+    def merge(
+        self, level: str, rows: int, at: float = 0.0, n_queries: int = 1
+    ) -> float:
+        """Merge partial scores across one hierarchy hop; returns duration.
+
+        ``n_queries`` repeats the hop for a streamed query batch (energy
+        and duration scale linearly).
+        """
+        duration = n_queries * self.tech.merge_latency(level)
+        energy = n_queries * self.tech.merge_energy(level, rows)
         self.energy.merge += energy
         self.trace.record("merge", level, at, duration, energy, f"rows={rows}")
         return duration
@@ -191,17 +225,36 @@ class CamMachine:
     def select_topk(
         self, scores: np.ndarray, k: int, largest: bool, at: float = 0.0
     ) -> Tuple[np.ndarray, np.ndarray, float]:
-        """Final top-k selection over merged scores (host peripheral)."""
-        indices, values = best_match(
-            np.asarray(scores, dtype=np.float64).reshape(-1),
-            k,
-            prefers_larger=largest,
+        """Final top-k selection over merged scores (host peripheral).
+
+        The single-query row of :meth:`select_topk_batch`."""
+        values, indices, duration = self.select_topk_batch(
+            np.asarray(scores, dtype=np.float64).reshape(1, -1),
+            k, largest, at=at,
+        )
+        return values[0], indices[0], duration
+
+    def select_topk_batch(
+        self, scores: np.ndarray, k: int, largest: bool, at: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Per-query top-k over a ``B×P`` merged-score matrix.
+
+        Row-for-row identical to :meth:`select_topk`; duration and energy
+        are charged once per query of the batch.
+        """
+        scores = np.atleast_2d(np.asarray(scores, dtype=np.float64))
+        indices, values = best_match_batch(
+            scores, k, prefers_larger=largest,
             wta_window=self.tech.wta_window,
         )
-        duration = self.tech.host_topk_latency(scores.size)
-        energy = self.tech.host_topk_energy(scores.size)
+        n_queries, per_query = scores.shape
+        duration = n_queries * self.tech.host_topk_latency(per_query)
+        energy = n_queries * self.tech.host_topk_energy(per_query)
         self.energy.host += energy
-        self.trace.record("select_topk", "host", at, duration, energy, f"k={k}")
+        self.trace.record(
+            "select_topk", "host", at, duration, energy,
+            f"k={k} queries={n_queries}",
+        )
         return values, indices, duration
 
     def frontend_latency(self) -> float:
@@ -212,6 +265,26 @@ class CamMachine:
         """Reset per-query accumulators/latches in every subarray."""
         for sub in self._subarrays.values():
             sub.clear_scores()
+
+    def reset_query_state(self) -> None:
+        """Forget all query-side activity, keeping the programmed patterns.
+
+        Zeroes the non-write energy, the search counters and every
+        subarray's latches; write energy (pattern programming) survives.
+        A :class:`~repro.runtime.session.QuerySession` calls this after
+        its setup walk so per-batch reports account only their own
+        queries.
+        """
+        write = self.energy.write
+        self.energy = EnergyBreakdown(write=write)
+        self.total_searches = 0
+        for sub in self._subarrays.values():
+            sub.clear_scores()
+            sub.searches = 0
+
+    def reseed_noise(self, seed) -> None:
+        """Re-seed the sensing-noise RNG (per-call decorrelation)."""
+        self._noise_rng = np.random.default_rng(seed)
 
     # --------------------------------------------------------------- report
     @property
@@ -270,10 +343,10 @@ class CamMachine:
             banks=self.banks_used,
         )
 
-    def finish(
-        self, query_latency_ns: float, setup_latency_ns: float = 0.0
-    ) -> ExecutionReport:
-        """Close the execution: add standby energy, emit the report."""
+    def standby_energy(self, query_latency_ns: float) -> float:
+        """Standby energy (pJ) drawn over ``query_latency_ns`` by the
+        powered hierarchy — shared by :meth:`finish` and the per-batch
+        reports of :class:`~repro.runtime.session.QuerySession`."""
         standby_mw = self.tech.standby_power(
             self.spec,
             subarrays=self.powered_subarrays(),
@@ -281,7 +354,13 @@ class CamMachine:
             mats=self.mats_used,
             banks=self.banks_used,
         )
-        standby = standby_mw * query_latency_ns * self.standby_duty()
+        return standby_mw * query_latency_ns * self.standby_duty()
+
+    def finish(
+        self, query_latency_ns: float, setup_latency_ns: float = 0.0
+    ) -> ExecutionReport:
+        """Close the execution: add standby energy, emit the report."""
+        standby = self.standby_energy(query_latency_ns)
         energy = EnergyBreakdown(**self.energy.as_dict())
         energy.standby += standby
         max_cycles = max(

@@ -80,6 +80,31 @@ class ExecutionReport:
         """Energy-delay product in nJ·s per query batch."""
         return (self.energy.query_total * 1e-3) * (self.query_latency_ns * 1e-9)
 
+    @property
+    def per_query_latency_ns(self) -> float:
+        """Mean latency per query; 0.0 for a zero-query execution."""
+        if self.queries <= 0:
+            return 0.0
+        return self.query_latency_ns / self.queries
+
+    @property
+    def per_query_energy_pj(self) -> float:
+        """Mean query energy per query; 0.0 for a zero-query execution."""
+        if self.queries <= 0:
+            return 0.0
+        return self.energy.query_total / self.queries
+
+    @property
+    def throughput_qps(self) -> float:
+        """Steady-state queries per second over the query clock.
+
+        Setup (pattern programming) is excluded: it is charged once per
+        session, amortized away by batching (`QuerySession.run_batch`).
+        """
+        if self.query_latency_ns <= 0 or self.queries <= 0:
+            return 0.0
+        return self.queries / (self.query_latency_ns * 1e-9)
+
     def scaled(self, n_queries: int) -> "ExecutionReport":
         """Extrapolate a single-query report to ``n_queries`` sequential
         queries (writes are not repeated)."""

@@ -12,17 +12,33 @@ from typing import Tuple
 import numpy as np
 
 
-def exact_match(scores: np.ndarray, prefers_larger: bool) -> np.ndarray:
-    """EX sensing: boolean match vector (distance 0 / maximal similarity).
+def exact_match(
+    scores: np.ndarray,
+    prefers_larger: bool,
+    perfect_score: float = None,
+) -> np.ndarray:
+    """EX sensing: boolean match vector (distance 0 / full-row match).
 
     Exact match is the cheapest scheme — a row matches when no cell
-    mismatches, i.e. Hamming/Euclidean score 0.
+    mismatches, i.e. Hamming/Euclidean score 0.  For similarity metrics
+    (``prefers_larger=True``) the row must *equal* ``perfect_score``,
+    the score of a stored row identical to the query (see
+    :func:`repro.simulator.cells.perfect_score`).  Comparing against the
+    best *observed* score instead would report the best-scoring row as an
+    "exact" match even when no stored row fully matches; comparing with
+    ``>=`` would accept larger-magnitude rows that are not the query.
     """
     if prefers_larger:
         if scores.size == 0:
             return np.zeros(0, dtype=bool)
-        return scores >= scores.max()
-    return scores == 0
+        if perfect_score is None:
+            raise ValueError(
+                "exact match on a similarity metric needs the metric's "
+                "perfect-match score (cells.perfect_score)"
+            )
+    elif perfect_score is None:
+        perfect_score = 0.0
+    return scores == perfect_score
 
 
 def threshold_match(
@@ -48,21 +64,46 @@ def best_match(
     mismatching cells of the winner; rows outside ``winner ± window`` are
     reported as ties of the boundary.  ``0`` means an ideal
     (ADC-assisted) sensing chain.
+
+    The single-query row of :func:`best_match_batch`.
     """
-    if scores.size == 0:
-        return np.zeros(0, dtype=np.int64), np.zeros(0)
-    k = min(k, scores.size)
-    order = np.argsort(-scores if prefers_larger else scores, kind="stable")
-    top = order[:k]
-    values = scores[top].astype(np.float64)
+    indices, values = best_match_batch(
+        np.asarray(scores, dtype=np.float64).reshape(1, -1),
+        k, prefers_larger, wta_window,
+    )
+    return indices[0], values[0]
+
+
+def best_match_batch(
+    scores: np.ndarray,
+    k: int,
+    prefers_larger: bool,
+    wta_window: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`best_match` over a ``B×R`` score matrix.
+
+    Returns ``(indices, values)`` of shape ``B×k``.  Row-for-row bitwise
+    identical to calling :func:`best_match` per query: the sort is the
+    same stable argsort and the WTA clamp uses each row's own winner.
+    """
+    scores = np.atleast_2d(np.asarray(scores, dtype=np.float64))
+    if scores.shape[1] == 0:
+        return (
+            np.zeros((scores.shape[0], 0), dtype=np.int64),
+            np.zeros((scores.shape[0], 0)),
+        )
+    k = min(k, scores.shape[1])
+    order = np.argsort(
+        -scores if prefers_larger else scores, axis=1, kind="stable"
+    )
+    top = order[:, :k]
+    values = np.take_along_axis(scores, top, axis=1).astype(np.float64)
     if wta_window > 0:
-        best = scores[order[0]]
+        best = np.take_along_axis(scores, order[:, :1], axis=1)
         if prefers_larger:
-            limit = best - wta_window
-            values = np.maximum(values, limit)
+            values = np.maximum(values, best - wta_window)
         else:
-            limit = best + wta_window
-            values = np.minimum(values, limit)
+            values = np.minimum(values, best + wta_window)
     return top.astype(np.int64), values
 
 

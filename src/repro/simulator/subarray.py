@@ -5,6 +5,12 @@ row offset (selective-search placement stacks several pattern batches in
 one subarray); a search computes per-row match scores over a row window
 and either latches them or adds them into a local accumulator (the
 digital accumulate peripheral the cam-density mapping relies on).
+
+Searches accept either a single query (``C``) or a query batch (``B×C``).
+A batched search streams the whole batch through the array: scores are
+latched per query into a ``B×rows`` latch bank and read back with
+:meth:`SubarrayState.read_batch` — the vectorized path behind
+:class:`repro.runtime.session.QuerySession`.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .cells import compute_scores
+from .cells import compute_scores, metric_prefers_larger
 
 
 class SubarrayState:
@@ -26,8 +32,10 @@ class SubarrayState:
         self._data = np.zeros((rows, cols), dtype=np.float64)
         self._valid = np.zeros(rows, dtype=bool)
         # Latched scores from the most recent (non-accumulating) search
-        # or the accumulator contents, indexed by accumulator slot.
-        self._scores = np.zeros(rows, dtype=np.float64)
+        # or the accumulator contents, indexed by accumulator slot.  The
+        # leading axis is the query-batch axis (size 1 for single-query
+        # searches, kept 1-D compatible through read()).
+        self._scores = np.zeros((1, rows), dtype=np.float64)
         self._scored_rows = 0
         self.writes = 0
         self.searches = 0
@@ -71,6 +79,12 @@ class SubarrayState:
         return window[mask]
 
     # -------------------------------------------------------------- search
+    def _ensure_batch(self, batch: int) -> None:
+        """Size the latch bank for ``batch`` concurrent queries."""
+        if self._scores.shape[0] != batch:
+            self._scores = np.zeros((batch, self.rows), dtype=np.float64)
+            self._scored_rows = 0
+
     def search(
         self,
         query: np.ndarray,
@@ -82,17 +96,24 @@ class SubarrayState:
     ) -> Tuple[np.ndarray, int]:
         """Search ``query`` against the row window.
 
-        Returns ``(scores, active_rows)``.  With ``accumulate=True`` the
-        scores are added into accumulator slots ``0..n-1`` (used when
-        several column-slice batches are stacked in this subarray);
-        otherwise the scores are latched at their window position.
-        ``noise``, if given, is a callable ``n -> ndarray`` producing
-        additive per-row sensing noise (device variation modeling).
+        ``query`` is one query (``C``) or a batch (``B×C``); scores come
+        back with a matching leading batch axis.  Returns
+        ``(scores, active_rows)``.  With ``accumulate=True`` the scores
+        are added into accumulator slots ``0..n-1`` (used when several
+        column-slice batches are stacked in this subarray); otherwise the
+        scores are latched at the physical position of their row — a hole
+        in the valid mask leaves its latches at the metric's no-match
+        value instead of shifting later rows up.  ``noise``, if given, is
+        a callable ``shape -> ndarray`` producing additive per-row
+        sensing noise (device variation modeling).
         """
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        if query.shape[0] > self.cols:
+        query = np.asarray(query, dtype=np.float64)
+        batched = query.ndim > 1
+        query = query.reshape(-1, query.shape[-1]) if batched \
+            else query.reshape(-1)
+        if query.shape[-1] > self.cols:
             raise ValueError(
-                f"query of width {query.shape[0]} exceeds "
+                f"query of width {query.shape[-1]} exceeds "
                 f"{self.cols}-column subarray"
             )
         if row_count < 0:
@@ -100,29 +121,52 @@ class SubarrayState:
         if row_begin < 0 or row_begin + row_count > self.rows:
             raise ValueError("search window exceeds subarray geometry")
         mask = self._valid[row_begin : row_begin + row_count]
-        stored = self._data[row_begin : row_begin + row_count, : query.shape[0]]
+        stored = self._data[
+            row_begin : row_begin + row_count, : query.shape[-1]
+        ]
         stored = stored[mask]
         scores = compute_scores(metric, stored, query)
         if noise is not None and scores.size:
-            scores = scores + noise(scores.shape[0])
-        n = scores.shape[0]
+            scores = scores + noise(scores.shape)
+        n = scores.shape[-1]
+        n_queries = scores.shape[0] if batched else 1
+        scores_2d = scores if batched else scores[None, :]
+        self._ensure_batch(n_queries)
         if accumulate:
-            self._scores[:n] += scores
+            self._scores[:, :n] += scores_2d
             self._scored_rows = max(self._scored_rows, n)
         else:
-            self._scores[row_begin : row_begin + n] = scores
-            self._scored_rows = max(self._scored_rows, row_begin + n)
-        self.searches += 1
+            # Latch each score at its row's physical position; unwritten
+            # rows inside the window must not report a (spurious) best
+            # score, so their latches read as the metric's no-match value.
+            positions = row_begin + np.flatnonzero(mask)
+            window = slice(row_begin, row_begin + row_count)
+            no_match = -np.inf if metric_prefers_larger(metric) else np.inf
+            self._scores[:, window] = no_match
+            self._scores[:, positions] = scores_2d
+            self._scored_rows = max(self._scored_rows, row_begin + row_count)
+        self.searches += n_queries
         return scores, n
 
     def read(self, rows: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
-        """Read latched scores: ``(values, local_row_indices)``."""
+        """Read latched scores of the last single query:
+        ``(values, local_row_indices)``."""
+        values, indices = self.read_batch(rows)
+        return values[0], indices
+
+    def read_batch(
+        self, rows: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Read the latch bank: ``(B×rows values, local_row_indices)``."""
         n = self._scored_rows if rows is None else rows
-        values = self._scores[:n].copy()
+        values = self._scores[:, :n].copy()
         indices = np.arange(n, dtype=np.int64)
         return values, indices
 
     def clear_scores(self) -> None:
         """Reset the accumulator/latches (start of a new query)."""
-        self._scores[:] = 0.0
+        if self._scores.shape[0] == 1:
+            self._scores[:] = 0.0   # hot path: no reallocation per query
+        else:
+            self._scores = np.zeros((1, self.rows), dtype=np.float64)
         self._scored_rows = 0

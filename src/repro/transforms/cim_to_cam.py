@@ -44,18 +44,28 @@ class LoweringError(RuntimeError):
 
 
 class CimToCamPass(FunctionPass):
-    """Lower annotated similarity executes to the cam dialect."""
+    """Lower annotated similarity executes to the cam dialect.
+
+    Besides rewriting the IR, the pass records one
+    :class:`~repro.runtime.session.QueryProgram` per lowered similarity
+    block in :attr:`programs` — the query-phase structure a
+    :class:`~repro.runtime.session.QuerySession` replays for batched
+    execution without re-walking the IR per query.
+    """
 
     NAME = "cim-to-cam"
 
     def __init__(self, spec: ArchSpec, config: Optional[MappingConfig] = None):
         self.spec = spec
         self.config = config or resolve_optimization(spec)
+        self.programs: List = []
 
     def run_on_function(self, func: Operation) -> None:
         for op in list(func.body.operations):
             if isinstance(op, cim_d.ExecuteOp) and _is_similarity_block(op):
-                _lower_execute(op, self.spec, self.config)
+                self.programs.append(
+                    _lower_execute(op, self.spec, self.config)
+                )
 
 
 def _is_similarity_block(execute: cim_d.ExecuteOp) -> bool:
@@ -121,7 +131,7 @@ class _Emitter:
 
 def _lower_execute(
     execute: cim_d.ExecuteOp, spec: ArchSpec, config: MappingConfig
-) -> None:
+):
     sim: cim_d.SimilarityOp = execute.body.operations[0]
     plan = plan_of(sim)
     _check_divisibility(plan)
@@ -191,6 +201,13 @@ def _lower_execute(
         acquire = getattr(device, "op", None)
         if acquire is not None:
             acquire.erase()
+
+    from repro.runtime.session import QueryProgram
+
+    return QueryProgram(
+        plan=plan, metric=metric, k=k, largest=largest,
+        results=tuple(results),
+    )
 
 
 def _check_divisibility(plan: PartitionPlan) -> None:

@@ -97,9 +97,19 @@ class TestPeripherals:
             [True, False, True]
 
     def test_exact_match_similarity(self):
+        """Only rows reaching the metric's perfect score match — the
+        best-scoring row alone is not an exact match."""
         scores = np.array([5.0, 2.0, 5.0])
-        assert exact_match(scores, prefers_larger=True).tolist() == \
-            [True, False, True]
+        assert exact_match(
+            scores, prefers_larger=True, perfect_score=8.0
+        ).tolist() == [False, False, False]
+        assert exact_match(
+            scores, prefers_larger=True, perfect_score=5.0
+        ).tolist() == [True, False, True]
+
+    def test_exact_match_similarity_needs_perfect_score(self):
+        with pytest.raises(ValueError, match="perfect"):
+            exact_match(np.array([1.0]), prefers_larger=True)
 
     def test_exact_match_empty(self):
         assert exact_match(np.array([]), True).size == 0

@@ -7,6 +7,11 @@ majority-vote accuracy against the golden model, and prints the EDP/power
 sweep of paper Table II in miniature.
 
 Run:  python examples/knn_pneumonia.py
+
+Expected output: CAM neighbour indices identical to the numpy golden
+model, matching vote accuracy, and a Table II-shaped sweep where EDP
+and power both drop as subarrays grow and cam-power draws ~2-3x less
+power than cam-base.
 """
 
 import numpy as np

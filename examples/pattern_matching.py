@@ -9,6 +9,10 @@ a packet-classifier shape — and a DNA k-mer store searched with a
 mismatch budget, plus a device-noise accuracy study.
 
 Run:  python examples/pattern_matching.py
+
+Expected output: the packet rules each query matches (wildcards
+honoured), k-mer hits within the mismatch threshold, and an accuracy
+table degrading from 1.000 toward chance as sensing noise grows.
 """
 
 import numpy as np

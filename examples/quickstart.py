@@ -6,6 +6,11 @@ traced, imported to torch-dialect IR, progressively lowered through the
 cim and cam abstractions, and executed on the simulated FeFET CAM.
 
 Run:  python examples/quickstart.py
+
+Expected output: the torch- and cim-dialect IR dumps, then the CAM
+execution summary (predicted classes ``[5, 7, 8, 7]``, per-query
+latency/energy, 8 subarrays in 1 bank) ending with
+``matches the host reference: OK``.
 """
 
 import numpy as np

@@ -8,6 +8,10 @@ disjoint banks, so a request stream pipelines: throughput is set by the
 slower stage while single-request latency is the sum.
 
 Run:  python examples/recsys_pipeline.py
+
+Expected output: the surviving candidate set after filtering, the
+recommended item ids with their dot-product scores, and end-to-end vs.
+pipelined-interval latency (interval < end-to-end), ending with ``OK``.
 """
 
 import numpy as np

@@ -9,7 +9,7 @@ from .datasets import (
 )
 from .hdc import HDCEncoder, HDCModel, train_hdc
 from .knn import KNNModel, build_knn
-from .matching import MatchResult, PatternMatcher
+from .matching import MatchResult, PatternMatcher, ShardedPatternMatcher
 
 __all__ = [
     "Dataset",
@@ -18,6 +18,7 @@ __all__ = [
     "KNNModel",
     "MatchResult",
     "PatternMatcher",
+    "ShardedPatternMatcher",
     "build_knn",
     "pad_features",
     "pad_rows",

@@ -11,6 +11,11 @@ Two variants, as in the validation study (Fig. 7):
   ranking is realised as Hamming distance;
 * **2-bit (multi-bit)** — prototypes quantized to 4 levels on an MCAM
   with native multi-bit dot similarity.
+
+Prototype sets beyond one machine's row capacity (many-class HDC on a
+bank-capped spec) compile with ``num_shards``/auto-shard and classify
+through a :class:`~repro.runtime.sharding.ShardedSession` with no
+change to :meth:`HDCModel.classify_cam`.
 """
 
 from __future__ import annotations

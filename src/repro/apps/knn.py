@@ -8,6 +8,12 @@ subarray sizes for the cam-based and cam-power configurations.
 The stored set is padded to the subarray row granularity (see
 :func:`repro.apps.datasets.pad_rows`) and the Euclidean kernel of
 Algorithm 1 (``sub → norm → topk``) is used for single-query search.
+
+Training sets larger than one bank-capped machine still work: compile
+the kernel with ``num_shards`` (or rely on auto-shard-on-overflow) and
+:meth:`KNNModel.classify_cam` streams through the kernel's
+:class:`~repro.runtime.sharding.ShardedSession` unchanged — neighbour
+indices come back as global training-set rows.
 """
 
 from __future__ import annotations
@@ -70,8 +76,9 @@ class KNNModel:
 
         ``kernel`` is the compiled single-query kernel (see
         :meth:`kernel`); the whole matrix streams through its cached
-        :class:`~repro.runtime.session.QuerySession` in one batched run
-        (patterns are programmed once), then each query's neighbours are
+        query session in one batched run (patterns are programmed once;
+        a kernel compiled with ``num_shards`` fans out across its shard
+        machines transparently), then each query's neighbours are
         majority-voted.
         """
         queries = np.atleast_2d(np.asarray(queries))

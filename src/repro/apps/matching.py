@@ -11,6 +11,13 @@ generic over patterns), complementing the compiler-driven similarity path.
 Patterns may contain TCAM don't-care positions
 (:data:`repro.simulator.cells.DONT_CARE`), enabling wildcard rules such as
 packet classifiers.
+
+A rule store larger than one bank-capped machine raises
+:class:`~repro.transforms.partitioning.CapacityError`;
+:class:`ShardedPatternMatcher` splits the rows across several machines
+instead (same fan-out/merge model as
+:class:`repro.runtime.sharding.ShardedSession`) and returns global
+pattern ids.
 """
 
 from __future__ import annotations
@@ -22,10 +29,14 @@ import numpy as np
 
 from repro.arch.spec import ArchSpec
 from repro.arch.technology import FEFET_45NM, TechnologyModel
+from repro.runtime.sharding import aggregate_reports, plan_shard_count, shard_sizes
 from repro.simulator.machine import CamMachine
 from repro.simulator.metrics import ExecutionReport
 from repro.simulator.peripherals import threshold_match
-from repro.transforms.partitioning import compute_partition_plan
+from repro.transforms.partitioning import (
+    check_plan_capacity,
+    compute_partition_plan,
+)
 
 
 @dataclass
@@ -70,6 +81,9 @@ class PatternMatcher:
                 f"width {spec.cols} (pad with don't-cares)"
             )
         self.plan = compute_partition_plan(n, d, 1, spec, use_density=False)
+        # Overflowing a bank-capped machine fails loudly (CapacityError
+        # with required vs. available rows) before any allocation.
+        check_plan_capacity(self.plan, spec)
         self.machine = CamMachine(spec, tech)
         self.setup_time = 0.0
         self._sub_ids: List[int] = []
@@ -172,4 +186,115 @@ class PatternMatcher:
         """
         rep = self.machine.finish(self._time, self.setup_time)
         rep.queries = self._queries
+        return rep
+
+
+class ShardedPatternMatcher:
+    """A pattern store spanning several machines (row sharding).
+
+    When a rule set exceeds one bank-capped machine, the rows split into
+    contiguous shards — one :class:`PatternMatcher` (own machine) each.
+    Lookups fan out to every shard and merge: threshold matching is
+    row-local, so the union of per-shard hits (local ids shifted by the
+    shard row offset) is exactly the single-machine match set, in
+    ascending global-id order.  ``num_shards=None`` auto-sizes to the
+    smallest count that fits; machines run in parallel, so
+    :meth:`report` takes max-over-shards latency plus one cross-machine
+    combine hop per query, and sums energy/allocation.
+    """
+
+    def __init__(
+        self,
+        patterns: np.ndarray,
+        spec: ArchSpec,
+        tech: TechnologyModel = FEFET_45NM,
+        num_shards: Optional[int] = None,
+    ):
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
+        self.patterns = patterns
+        self.spec = spec
+        self.tech = tech
+        n, d = patterns.shape
+        count = plan_shard_count(
+            n, d, 1, spec, use_density=False, num_shards=num_shards
+        )
+        self.row_offsets: List[int] = []
+        self.shards: List[PatternMatcher] = []
+        offset = 0
+        for rows in shard_sizes(n, count):
+            self.row_offsets.append(offset)
+            self.shards.append(
+                PatternMatcher(patterns[offset : offset + rows], spec, tech)
+            )
+            offset += rows
+        self._queries = 0
+        self._merge_time = 0.0
+        self._merge_energy = 0.0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------- queries
+    def lookup(self, query: np.ndarray, threshold: float = 0.0) -> MatchResult:
+        """Single-query :meth:`PatternMatcher.lookup` across all shards."""
+        return self.lookup_batch(
+            np.asarray(query, dtype=np.float64).reshape(1, -1), threshold
+        )[0]
+
+    def lookup_batch(
+        self, queries: np.ndarray, threshold: float = 0.0
+    ) -> List[MatchResult]:
+        """Fan a ``B×D`` batch out to every shard; merge per query.
+
+        Matches come back with *global* pattern ids; shard results
+        concatenate in row-offset order, so ids stay ascending and
+        :attr:`MatchResult.first` is still the priority-encoded lowest
+        id.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        per_shard = [
+            shard.lookup_batch(queries, threshold) for shard in self.shards
+        ]
+        self._queries += n_queries
+        # One combine hop per query: the host ORs the shard match vectors
+        # (a bank-level reduction across machines).
+        self._merge_time += n_queries * self.tech.merge_latency("bank")
+        self._merge_energy += n_queries * self.tech.merge_energy(
+            "bank", self.patterns.shape[0]
+        )
+        merged = []
+        for q in range(n_queries):
+            indices = np.concatenate(
+                [
+                    results[q].indices + offset
+                    for results, offset in zip(per_shard, self.row_offsets)
+                ]
+            )
+            distances = np.concatenate(
+                [results[q].distances for results in per_shard]
+            )
+            merged.append(
+                MatchResult(
+                    indices=indices.astype(np.int64), distances=distances
+                )
+            )
+        return merged
+
+    # -------------------------------------------------------------- report
+    def report(self) -> ExecutionReport:
+        """Aggregate metrics: parallel shards, honest multi-machine sums.
+
+        Latency is the slowest shard plus the cross-machine combine;
+        energy, hierarchy counts and searches sum over shards.
+        """
+        rep = aggregate_reports(
+            [shard.report() for shard in self.shards],
+            merge_latency_ns=self._merge_time,
+            merge_energy_pj=self._merge_energy,
+            queries=self._queries,
+        )
         return rep

@@ -1,4 +1,24 @@
-"""Ready-made architecture specifications used in the paper's evaluation."""
+"""Ready-made architecture specifications used in the paper's evaluation.
+
+Entry points for picking a machine without hand-writing an
+:class:`~repro.arch.spec.ArchSpec`:
+
+* :func:`paper_spec` — the evaluation hierarchy (4 mats/bank,
+  4 arrays/mat, 8 subarrays/array, banks on demand) with a chosen
+  subarray geometry, CAM type and optimization target;
+* :func:`validation_spec` — the Fig. 7 accuracy-validation configs
+  (32×C subarrays, 1-/2-bit cells);
+* :func:`dse_spec` — square N×N subarrays for the Fig. 8 design-space
+  exploration;
+* :func:`iso_capacity_spec` — Fig. 9's iso-capacity sweep (fixed 2^16
+  cells per array, varying subarray size).
+
+All presets default to ``banks=None`` (allocate as many banks as the
+workload needs).  Cap ``banks`` via ``dataclasses.replace`` (or the CLI's
+``--banks``) to model a finite machine — stores that overflow the cap
+raise :class:`~repro.transforms.partitioning.CapacityError` and can be
+served by sharding across machines instead (``compile(num_shards=...)``).
+"""
 
 from __future__ import annotations
 

@@ -6,6 +6,7 @@ Mirrors an ``mlir-opt``-style workflow on the built-in HDC workload:
     python -m repro.cli --rows 64 --cols 64 --target density
     python -m repro.cli --pipeline torch-to-cim,cim-fuse-ops --dump-ir cim
     python -m repro.cli --batch 64 --stats   # one session, 64 queries
+    python -m repro.cli --banks 1 --patterns 512 --shards 4  # multi-machine
 
 The driver traces the paper's Fig. 4a kernel on synthetic data, runs the
 requested pipeline, optionally prints the IR, executes on the simulated
@@ -20,7 +21,8 @@ import sys
 import numpy as np
 
 from repro.arch import ArchSpec, paper_spec
-from repro.compiler import C4CAMCompiler, build_pipeline
+from repro.compiler import C4CAMCompiler, CapacityError, build_pipeline
+from repro.passes.pass_manager import PassError
 from repro.frontend import placeholder
 from repro.ir.printer import print_module
 from repro.simulator.analysis import format_report
@@ -51,6 +53,17 @@ def make_parser() -> argparse.ArgumentParser:
         help="serve N queries through one batched query session "
         "(patterns programmed once; reports amortized throughput)",
     )
+    p.add_argument(
+        "--banks", type=int, metavar="B",
+        help="cap the machine at B banks (default: allocate on demand); "
+        "a stored set overflowing the cap auto-shards across machines",
+    )
+    p.add_argument(
+        "--shards", type=int, metavar="N",
+        help="shard the stored patterns across N machines "
+        "(default: auto — shard only when the store overflows one "
+        "machine; 1 forces single-machine and fails on overflow)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--dump-ir", choices=("torch", "cim", "cam"),
@@ -68,14 +81,20 @@ def make_parser() -> argparse.ArgumentParser:
 
 def load_spec(args) -> ArchSpec:
     if args.arch:
-        return ArchSpec.from_json(args.arch)
-    return paper_spec(
-        rows=args.rows,
-        cols=args.cols,
-        cam_type=args.cam_type,
-        bits_per_cell=args.bits,
-        optimization_target=args.target,
-    )
+        spec = ArchSpec.from_json(args.arch)
+    else:
+        spec = paper_spec(
+            rows=args.rows,
+            cols=args.cols,
+            cam_type=args.cam_type,
+            bits_per_cell=args.bits,
+            optimization_target=args.target,
+        )
+    if args.banks is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, banks=args.banks)
+    return spec
 
 
 def build_kernel(args):
@@ -108,28 +127,68 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.batch is not None and args.batch < 1:
         parser.error(f"--batch must be a positive query count, got {args.batch}")
+    if args.shards is not None and args.shards < 1:
+        parser.error(f"--shards must be a positive machine count, got {args.shards}")
+    if args.banks is not None and args.banks < 1:
+        parser.error(f"--banks must be a positive bank count, got {args.banks}")
     spec = load_spec(args)
     compiler = C4CAMCompiler(spec)
     model, example, queries = build_kernel(args)
+
+    def run_pipeline(pm, module) -> bool:
+        """Run ``pm``; prints a friendly message on capacity overflow."""
+        try:
+            pm.run(module)
+        except PassError as exc:
+            if isinstance(exc.__cause__, CapacityError):
+                print(f"error: {exc.__cause__}", file=sys.stderr)
+                return False
+            raise
+        return True
 
     if args.pipeline:
         from repro.passes.pipeline import build_pipeline_from_spec
 
         module, _params = compiler.import_torchscript(model, example)
         pm = build_pipeline_from_spec(args.pipeline, spec)
-        pm.run(module)
+        if not run_pipeline(pm, module):
+            return 1
         print(print_module(module))
         return 0
 
     if args.dump_ir:
+        if args.dump_ir == "cam" and args.shards not in (None, 1):
+            # Sharded kernels lower one module per machine; dump each.
+            try:
+                kernel = compiler.compile(
+                    model, example, num_shards=args.shards
+                )
+            except (CapacityError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            for i, shard in enumerate(kernel.shard_set.shards):
+                print(f"// shard {i} (rows {shard.row_offset}.."
+                      f"{shard.row_offset + shard.rows - 1})")
+                print(print_module(shard.module))
+            return 0
         module, _params = compiler.import_torchscript(model, example)
         if args.dump_ir != "torch":
             pm = build_pipeline(spec, lower_to_cam=args.dump_ir == "cam")
-            pm.run(module)
+            if not run_pipeline(pm, module):
+                return 1
         print(print_module(module))
         return 0
 
-    kernel = compiler.compile(model, example)
+    try:
+        kernel = compiler.compile(model, example, num_shards=args.shards)
+    except (CapacityError, ValueError) as exc:
+        # CapacityError: the store overflows and sharding was refused;
+        # ValueError: an unusable shard request (e.g. more shards than
+        # stored patterns).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if kernel.num_shards > 1:
+        print(f"sharded across {kernel.num_shards} machines")
     if args.batch:
         rng = np.random.default_rng(args.seed + 1)
         batch = rng.choice([-1.0, 1.0], (args.batch, args.dims)).astype(

@@ -35,6 +35,19 @@ energy/latency separately from the query clock and expose
 timing semantics.  Construct with ``cache_session=False`` to restore the
 legacy fresh-machine-per-call behaviour (used as the baseline in
 ``benchmarks/test_batch_throughput.py``).
+
+Capacity and sharding.  A bank-capped :class:`~repro.arch.spec.ArchSpec`
+bounds what one machine stores; a kernel that overflows it raises
+:class:`~repro.transforms.partitioning.CapacityError` (required vs.
+available rows, never silent truncation).  ``compile(num_shards=...)``
+instead splits the stored rows across N independently programmed
+machines served by a :class:`~repro.runtime.sharding.ShardedSession`:
+``num_shards=None`` (the default) auto-shards exactly when the store
+overflows, an explicit count forces the split, and ``num_shards=1``
+forces single-machine compilation (raising on overflow).  Sharded
+results are bitwise identical to one unbounded machine; reports sum
+energy/area across shards and take max-over-shards latency plus the
+cross-shard merge (see :mod:`repro.runtime.sharding`).
 """
 
 from __future__ import annotations
@@ -46,21 +59,32 @@ import numpy as np
 import repro.dialects  # noqa: F401  (registers all dialects)
 from repro.arch.spec import ArchSpec
 from repro.arch.technology import FEFET_45NM, TechnologyModel
+from repro.dialects import cim as cim_d
 from repro.frontend import import_graph, trace
 from repro.frontend.torch_api import Graph, Tensor
 from repro.ir.module import ModuleOp
 from repro.ir.printer import print_module
+from repro.ir.value import BlockArgument
 from repro.passes.pass_manager import PassManager
 from repro.runtime.executor import Interpreter
 from repro.runtime.session import QueryProgram, QuerySession, SessionError
+from repro.runtime.sharding import (
+    ShardedSession,
+    ShardSet,
+    build_shard_set,
+    plan_shard_count,
+)
 from repro.simulator.machine import CamMachine
 from repro.simulator.metrics import ExecutionReport
 from repro.transforms import (
+    CapacityError,
     CimFuseOpsPass,
     CimPartitionPass,
     CimToCamPass,
     SimilarityMatchingPass,
     TorchToCimPass,
+    check_plan_capacity,
+    plan_of,
     resolve_optimization,
 )
 
@@ -82,13 +106,89 @@ def build_pipeline(spec: ArchSpec, lower_to_cam: bool = True) -> PassManager:
     return pm
 
 
+def _find_shardable_similarity(
+    module: ModuleOp,
+    parameters: Sequence[np.ndarray],
+    func_name: str = "forward",
+) -> Optional[dict]:
+    """The single row-shardable similarity kernel of ``func_name``.
+
+    Sharding slices the stored parameter by rows and recompiles each
+    slice, so the traced function must *be* the similarity kernel: one
+    ``cim.execute { cim.similarity }`` block whose results the function
+    returns directly, whose stored operand is a captured parameter and
+    whose query operand is the *only* traced input (sharded kernels are
+    called with exactly one query batch).  Returns the kernel facts
+    (stored array, cim-level metric/k/largest, shapes) or ``None`` when
+    the model has any other structure.
+    """
+    func = module.lookup_symbol(func_name)
+    if func is None:
+        return None
+    candidates = []
+    for op in func.body.operations:
+        if isinstance(op, cim_d.ExecuteOp):
+            body = list(op.body.operations)
+            if len(body) == 2 and isinstance(body[0], cim_d.SimilarityOp):
+                candidates.append((op, body[0]))
+    if len(candidates) != 1:
+        return None
+    execute, sim = candidates[0]
+    terminator = next(
+        (op for op in func.body.operations if op.name == "func.return"), None
+    )
+    if terminator is None:
+        return None
+    if list(terminator.operands) != list(execute.results):
+        return None
+    if not isinstance(sim.stored, BlockArgument) or not isinstance(
+        sim.query, BlockArgument
+    ):
+        return None
+    stored_outer = execute.inputs[sim.stored.index]
+    query_outer = execute.inputs[sim.query.index]
+    args = list(func.body.arguments)
+    n_inputs = len(args) - len(parameters)
+    if n_inputs != 1:
+        return None
+    if not (
+        isinstance(stored_outer, BlockArgument)
+        and any(stored_outer is arg for arg in args)
+        and stored_outer.index >= n_inputs
+    ):
+        return None
+    if not (
+        isinstance(query_outer, BlockArgument)
+        and any(query_outer is arg for arg in args)
+        and query_outer.index < n_inputs
+    ):
+        return None
+    stored = parameters[stored_outer.index - n_inputs]
+    if tuple(stored.shape) != tuple(sim.stored.type.shape):
+        return None
+    query_type = sim.query.type
+    return {
+        "stored": stored,
+        "metric": sim.metric,
+        "k": sim.k,
+        "largest": sim.largest,
+        "patterns": sim.stored.type.shape[0],
+        "features": sim.stored.type.shape[-1],
+        "queries": query_type.shape[0] if query_type.rank == 2 else 1,
+    }
+
+
 class CompiledKernel:
     """A compiled, executable kernel bound to an architecture.
 
     Machine-lowered kernels execute through a cached
     :class:`~repro.runtime.session.QuerySession` (program once, query
     many); ``cache_session=False`` forces the legacy behaviour of a
-    fresh machine and a full interpreter walk per call.
+    fresh machine and a full interpreter walk per call.  A kernel
+    compiled with a :class:`~repro.runtime.sharding.ShardSet` keeps its
+    ``module`` at the cim level and executes through a
+    :class:`~repro.runtime.sharding.ShardedSession` instead — one
+    programmed machine per stored-row shard, merged transparently.
     """
 
     def __init__(
@@ -103,6 +203,7 @@ class CompiledKernel:
         noise_seed: int = 0,
         query_programs: Sequence[QueryProgram] = (),
         cache_session: bool = True,
+        shard_set: Optional[ShardSet] = None,
     ):
         self.module = module
         self.spec = spec
@@ -114,6 +215,7 @@ class CompiledKernel:
         self.noise_seed = noise_seed
         self.query_programs = list(query_programs)
         self.cache_session = cache_session
+        self.shard_set = shard_set
         self.last_report: Optional[ExecutionReport] = None
         self.last_machine: Optional[CamMachine] = None
         self._session: Optional[QuerySession] = None
@@ -124,6 +226,11 @@ class CompiledKernel:
         self._noise_seq = np.random.SeedSequence(noise_seed)
 
     @property
+    def num_shards(self) -> int:
+        """Machines serving this kernel (1 unless compiled sharded)."""
+        return self.shard_set.num_shards if self.shard_set else 1
+
+    @property
     def _sessionable(self) -> bool:
         """True when calls can stream through a cached QuerySession.
 
@@ -131,7 +238,11 @@ class CompiledKernel:
         function must return exactly that program's (values, indices) —
         a model that reorders or post-processes the similarity outputs
         takes the full interpreter walk, which reproduces its dataflow.
+        Sharded kernels are always session-served: their shard modules
+        are built to return the program results directly.
         """
+        if self.shard_set is not None:
+            return self.uses_machine
         if self._program_serves_function is None:
             func = self.module.lookup_symbol(self.func_name)
             self._program_serves_function = (
@@ -146,6 +257,15 @@ class CompiledKernel:
         )
 
     def _open_session(self) -> QuerySession:
+        if self.shard_set is not None:
+            return ShardedSession(
+                self.shard_set,
+                self.spec,
+                self.tech,
+                func_name=self.func_name,
+                noise_sigma=self.noise_sigma,
+                noise_seed=self._noise_seq.spawn(1)[0],
+            )
         if not self.uses_machine or len(self.query_programs) != 1:
             raise SessionError(
                 "batched sessions need a machine-lowered kernel with "
@@ -189,11 +309,14 @@ class CompiledKernel:
         self._noise_seq = np.random.SeedSequence(self.noise_seed)
 
     def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
-        """Answer a ``B×D`` query batch on the live session machine.
+        """Answer a ``B×D`` query batch on the live session machine(s).
 
         Setup (pattern programming) is charged once per session; the
         batch report (``last_report``) accounts ``B ×`` the structural
-        per-query latency and exposes ``throughput_qps``.
+        per-query latency and exposes ``throughput_qps``.  Sharded
+        kernels fan the batch out to every shard machine and merge —
+        their report sums energy over shards and takes max-over-shards
+        latency plus the cross-shard merge.
         """
         session = self.session()
         outputs = session.run_batch(queries)
@@ -212,6 +335,15 @@ class CompiledKernel:
         and re-programmed per call and inputs must match the traced
         shapes.
         """
+        if self.shard_set is not None:
+            # Sharded kernels keep their module at the cim level; the
+            # interpreter walk cannot reproduce the machine path, so
+            # every execution goes through the shard sessions.
+            if len(inputs) != 1:
+                raise SessionError(
+                    "a sharded kernel takes exactly one query batch"
+                )
+            return self.run_batch(inputs[0])
         if self._sessionable and len(inputs) == 1:
             return self.run_batch(inputs[0])
         machine = None
@@ -258,6 +390,7 @@ class C4CAMCompiler:
         noise_sigma: float = 0.0,
         noise_seed: int = 0,
         cache_session: bool = True,
+        num_shards: Optional[int] = None,
     ) -> CompiledKernel:
         """Full pipeline: trace → torch IR → cim → cam.
 
@@ -268,24 +401,90 @@ class C4CAMCompiler:
         realization decorrelates across calls while staying reproducible
         for a fixed ``noise_seed``.  ``cache_session=False`` disables the
         program-once query session and re-programs the machine per call.
+
+        ``num_shards`` controls multi-machine sharding of the stored
+        rows: ``None`` (default) auto-shards exactly when the store
+        overflows a bank-capped spec, an explicit count ``> 1`` forces
+        that many machines, and ``1`` forces single-machine compilation —
+        overflowing it raises
+        :class:`~repro.transforms.partitioning.CapacityError`.
         """
+        if num_shards is not None and num_shards < 1:
+            raise ValueError("num_shards must be >= 1 (or None for auto)")
+        if not lower_to_cam and num_shards not in (None, 1):
+            raise ValueError(
+                "num_shards requires lower_to_cam=True: the host "
+                "reference path has no machines to shard across"
+            )
         module, params = self.import_torchscript(fn, example_inputs)
-        pipeline = build_pipeline(self.spec, lower_to_cam=lower_to_cam)
-        pipeline.run(module)
-        programs = []
-        for pass_ in pipeline.passes:
-            if isinstance(pass_, CimToCamPass):
-                programs.extend(pass_.programs)
+        # Stage 1: lower to the cim level (fused similarity + plan).
+        build_pipeline(self.spec, lower_to_cam=False).run(module)
+        if not lower_to_cam:
+            return CompiledKernel(
+                module,
+                self.spec,
+                self.tech,
+                params,
+                uses_machine=False,
+                noise_sigma=noise_sigma,
+                noise_seed=noise_seed,
+                cache_session=cache_session,
+            )
+        # Stage 2: decide the machine count, then lower to cam.
+        config = resolve_optimization(self.spec)
+        shard_set = None
+        if num_shards != 1:
+            kernel_info = _find_shardable_similarity(module, params)
+            if kernel_info is not None:
+                count = plan_shard_count(
+                    kernel_info["patterns"],
+                    kernel_info["features"],
+                    kernel_info["queries"],
+                    self.spec,
+                    config.use_density,
+                    num_shards,
+                )
+                if count > 1:
+                    shard_set = build_shard_set(
+                        kernel_info["stored"],
+                        kernel_info["queries"],
+                        kernel_info["metric"],
+                        kernel_info["k"],
+                        kernel_info["largest"],
+                        self.spec,
+                        config,
+                        num_shards=count,
+                    )
+            elif num_shards is not None:
+                raise SessionError(
+                    "num_shards > 1 requires a model that is exactly one "
+                    "similarity kernel returning its (values, indices) "
+                    "directly"
+                )
+        programs: List[QueryProgram] = []
+        if shard_set is None:
+            # Surface overflows as CapacityError here (PassManager wraps
+            # in-pass exceptions into PassError).
+            for func in module.functions():
+                for op in func.walk():
+                    if isinstance(op, cim_d.SimilarityOp):
+                        check_plan_capacity(
+                            plan_of(op), self.spec, config.use_density
+                        )
+            cam = CimToCamPass(self.spec, config)
+            PassManager([cam]).run(module)
+            programs = list(cam.programs)
         return CompiledKernel(
             module,
             self.spec,
             self.tech,
             params,
-            uses_machine=lower_to_cam,
+            uses_machine=True,
             noise_sigma=noise_sigma,
             noise_seed=noise_seed,
             query_programs=programs,
             cache_session=cache_session,
+            shard_set=shard_set,
         )
 
     def reference(

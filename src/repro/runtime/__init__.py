@@ -1,8 +1,17 @@
-"""Runtime: the IR interpreter, batched query sessions and host
-reference semantics."""
+"""Runtime: the IR interpreter, batched query sessions, sharded
+multi-machine sessions and host reference semantics."""
 
 from .executor import ExecutionError, Interpreter
 from .session import QueryProgram, QuerySession, SessionError
+from .sharding import (
+    Shard,
+    ShardedSession,
+    ShardSet,
+    aggregate_reports,
+    build_shard_set,
+    plan_shard_count,
+    shard_sizes,
+)
 from . import values
 
 __all__ = [
@@ -11,5 +20,12 @@ __all__ = [
     "QueryProgram",
     "QuerySession",
     "SessionError",
+    "Shard",
+    "ShardedSession",
+    "ShardSet",
+    "aggregate_reports",
+    "build_shard_set",
+    "plan_shard_count",
+    "shard_sizes",
     "values",
 ]

@@ -129,6 +129,13 @@ class QuerySession:
             noise_seed=self._noise_seq.spawn(1)[0],
         )
         self.last_report: Optional[ExecutionReport] = None
+        # Full-precision (float64) *unclamped* scores of the last
+        # batch's top-k rows (no WTA-window clamp, no float32 cast) — a
+        # ShardedSession re-ranks shards on these and applies the WTA
+        # clamp once against the global winner, so the merge matches a
+        # single big machine bitwise.
+        self.last_values: Optional[np.ndarray] = None
+        self.last_indices: Optional[np.ndarray] = None
         self.batches_run = 0
         # Session-relative query clock: batches are stamped back-to-back
         # on the machine trace (coarse within-batch structure: searches,
@@ -170,6 +177,8 @@ class QuerySession:
         """Clear query-side state (latches, counters); patterns survive."""
         self.machine.reset_query_state()
         self.last_report = None
+        self.last_values = None
+        self.last_indices = None
         self.batches_run = 0
         self._time = 0.0
 
@@ -241,6 +250,10 @@ class QuerySession:
         # interpreter-measured per-query walk); advance the session
         # trace clock by it so successive batches land back-to-back.
         self._time = t0 + n_queries * self.per_query_latency_ns
+        # Raw scores of the selected rows (selection ignores the WTA
+        # clamp, so indices are exact; values may be clamped).
+        self.last_values = np.take_along_axis(scores, indices, axis=1)
+        self.last_indices = indices
         self.last_report = self._report(before, n_queries)
         self.batches_run += 1
         return [values.astype(np.float32), indices.astype(np.int64)]

@@ -1,0 +1,434 @@
+"""Sharded multi-machine sessions: one stored set, N programmed machines.
+
+A single CAM machine caps out when the stored-pattern matrix needs more
+banks than the :class:`~repro.arch.spec.ArchSpec` provides.  The paper's
+answer to capacity is tiling — banks/mats/subarrays inside one machine —
+and this module extends the same idea *across* machines, the way
+far-memory serving systems (AMU's accessibility graphs, Atlas' hybrid
+data plane) scale a fast single-device path into a serving deployment:
+
+* **row sharding** — the ``P×D`` stored matrix splits into contiguous
+  row ranges, one per shard.  Each shard is an independently compiled
+  and programmed machine: its own lowered module, partition plan and
+  :class:`~repro.runtime.session.QuerySession`;
+* **fan-out** — a query batch is broadcast to every shard and streamed
+  through PR 1's vectorized ``run_batch`` on each;
+* **merge** — per-shard top-k candidates (local indices shifted by the
+  shard's row offset) are re-ranked by a host-side selection into the
+  global top-k.
+
+Functionally the merge is *bitwise identical* to one oversized machine:
+match-line scores are row-local (a row's score never depends on other
+stored rows), each shard keeps its ``min(k, rows)`` best with the same
+stable lowest-index tie-break the single-machine peripheral uses
+(:func:`~repro.simulator.peripherals.best_match_batch`), and candidates
+are concatenated in row-offset order — so equal scores still resolve to
+the lowest global row index.  The re-rank runs on the shards' full-
+precision *unclamped* (float64) scores, not the float32 outputs; a
+winner-take-all sensing window (``tech.wta_window``) is applied once at
+the merge against the candidate-set winner — the global winner, since
+every shard keeps its own best — matching the single-machine clamp.
+
+Timing follows the deployment model: shards are separate machines, so
+programming and querying proceed in parallel — batch latency is the
+**max over shards** plus the host merge hop (a top-k over ``Σ min(k,
+rows_i)`` candidates); setup latency is the max over shards.  Energy,
+allocation counts and chip area are **summed** across shards (N machines
+really do burn N machines' worth of energy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.arch.technology import TechnologyModel
+from repro.dialects import arith as arith_d
+from repro.dialects import cim as cim_d
+from repro.dialects import func as func_d
+from repro.ir.builder import OpBuilder
+from repro.ir.module import ModuleOp
+from repro.ir.types import FunctionType, TensorType, f32, i64, index
+from repro.passes.pass_manager import PassManager
+from repro.simulator.metrics import ExecutionReport, aggregate_reports
+from repro.simulator.peripherals import best_match_batch
+from repro.transforms.cim_to_cam import CimToCamPass
+from repro.transforms.optimizations import MappingConfig, resolve_optimization
+from repro.transforms.partitioning import (
+    CapacityError,
+    CimPartitionPass,
+    compute_partition_plan,
+    machine_row_capacity,
+)
+
+from .session import QuerySession, SessionError
+
+
+# --------------------------------------------------------------- planning
+def shard_sizes(patterns: int, num_shards: int) -> List[int]:
+    """Balanced contiguous row counts: ``ceil`` rows first, never empty."""
+    if not 1 <= num_shards <= patterns:
+        raise ValueError(
+            f"cannot split {patterns} stored rows into {num_shards} shards"
+        )
+    base, extra = divmod(patterns, num_shards)
+    return [base + 1] * extra + [base] * (num_shards - extra)
+
+
+def plan_shard_count(
+    patterns: int,
+    features: int,
+    queries: int,
+    spec: ArchSpec,
+    use_density: bool,
+    num_shards: Optional[int] = None,
+) -> int:
+    """Shard count for a ``patterns×features`` store on ``spec`` machines.
+
+    ``num_shards=None`` auto-sizes: 1 when the store fits one machine,
+    otherwise the smallest count whose largest shard fits.  An explicit
+    ``num_shards`` is honoured as-is and validated — in particular
+    ``num_shards=1`` on an overflowing store raises
+    :class:`~repro.transforms.partitioning.CapacityError` (the
+    no-silent-truncation guarantee).
+    """
+
+    def overflow() -> CapacityError:
+        # Always report the *full* store: required_rows/available_rows
+        # and the suggested minimum shard count describe the workload,
+        # not whichever shard size happened to trip the check.
+        return CapacityError(
+            compute_partition_plan(
+                patterns, features, queries, spec, use_density
+            ),
+            spec,
+            use_density,
+        )
+
+    capacity = machine_row_capacity(spec, features, use_density)
+    if num_shards is not None:
+        if (
+            capacity is not None
+            and max(shard_sizes(patterns, num_shards)) > capacity
+        ):
+            raise overflow()
+        return num_shards
+    if capacity is None or patterns <= capacity:
+        return 1
+    if capacity == 0:
+        # Even one-row shards overflow at this feature width; sharding
+        # cannot help.
+        raise overflow()
+    # The largest balanced shard is ceil(patterns / count), so the
+    # smallest fitting count is ceil(patterns / capacity).
+    return math.ceil(patterns / capacity)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One machine's slice of the stored set, compiled and ready.
+
+    ``module`` is the shard's fully lowered (cam-dialect) module whose
+    single parameter is ``stored`` (the ``rows×features`` row slice);
+    ``program`` the query-phase structure its
+    :class:`~repro.runtime.session.QuerySession` replays; ``row_offset``
+    maps the shard's local pattern indices back to global rows.
+    """
+
+    module: ModuleOp
+    stored: np.ndarray
+    program: object  # QueryProgram
+    row_offset: int
+
+    @property
+    def rows(self) -> int:
+        return self.stored.shape[0]
+
+
+@dataclass(frozen=True)
+class ShardSet:
+    """A compiled shard partition of one similarity kernel."""
+
+    shards: Tuple[Shard, ...]
+    k: int          # the kernel's global top-k
+    patterns: int
+    features: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def row_offsets(self) -> List[int]:
+        return [shard.row_offset for shard in self.shards]
+
+
+def _build_shard_module(
+    n_queries: int,
+    rows: int,
+    features: int,
+    metric: str,
+    k: int,
+    largest: bool,
+) -> ModuleOp:
+    """A minimal cim-level similarity module over one row slice.
+
+    ``forward(queries: Q×D, stored: rows×D) -> (values, indices)`` with a
+    single ``cim.execute { cim.similarity }`` block — exactly the shape
+    the ``cim-partition`` / ``cim-to-cam`` passes expect, so each shard
+    lowers through the standard pipeline and its session measures honest
+    structural timing from the loop nest.
+    """
+    k_eff = min(k, rows)
+    query_t = TensorType([n_queries, features], f32)
+    stored_t = TensorType([rows, features], f32)
+    values_t = TensorType([n_queries, k_eff], f32)
+    indices_t = TensorType([n_queries, k_eff], i64)
+
+    module = ModuleOp()
+    fn = func_d.FuncOp(
+        "forward", FunctionType([query_t, stored_t], [values_t, indices_t])
+    )
+    module.append(fn)
+    b = OpBuilder.at_end(fn.body)
+    device = b.create(cim_d.AcquireOp).result
+    k_const = b.create(arith_d.ConstantOp, k_eff, index).result
+    execute = b.create(
+        cim_d.ExecuteOp,
+        device,
+        [fn.arguments[1], fn.arguments[0], k_const],
+        [values_t, indices_t],
+    )
+    body = OpBuilder.at_end(execute.body)
+    sim = body.create(
+        cim_d.SimilarityOp,
+        metric,
+        execute.body.arguments[0],
+        execute.body.arguments[1],
+        execute.body.arguments[2],
+        k_static=k_eff,
+        largest=largest,
+    )
+    body.create(cim_d.YieldOp, list(sim.results))
+    b.create(cim_d.ReleaseOp, device)
+    b.create(func_d.ReturnOp, list(execute.results))
+    return module
+
+
+def build_shard_set(
+    stored: np.ndarray,
+    n_queries: int,
+    metric: str,
+    k: int,
+    largest: bool,
+    spec: ArchSpec,
+    config: Optional[MappingConfig] = None,
+    num_shards: Optional[int] = None,
+) -> ShardSet:
+    """Partition ``stored`` into shards and compile each one.
+
+    ``metric``/``largest`` are the *cim-level* similarity semantics (the
+    per-shard pipeline re-applies CAM-type legalisation identically for
+    every shard).  Raises
+    :class:`~repro.transforms.partitioning.CapacityError` when the
+    requested shard count still overflows a machine.
+    """
+    stored = np.atleast_2d(np.asarray(stored))
+    patterns, features = stored.shape
+    config = config or resolve_optimization(spec)
+    count = plan_shard_count(
+        patterns, features, n_queries, spec, config.use_density, num_shards
+    )
+    shards = []
+    offset = 0
+    for rows in shard_sizes(patterns, count):
+        module = _build_shard_module(
+            n_queries, rows, features, metric, k, largest
+        )
+        cam = CimToCamPass(spec, config)
+        pm = PassManager()
+        pm.add(CimPartitionPass(spec, use_density=config.use_density))
+        pm.add(cam)
+        pm.run(module)
+        shards.append(
+            Shard(
+                module=module,
+                stored=np.ascontiguousarray(stored[offset : offset + rows]),
+                program=cam.programs[0],
+                row_offset=offset,
+            )
+        )
+        offset += rows
+    return ShardSet(
+        shards=tuple(shards), k=k, patterns=patterns, features=features
+    )
+
+
+# ---------------------------------------------------------------- sessions
+class ShardedSession:
+    """N live machines serving one similarity kernel's query stream.
+
+    Owns one :class:`~repro.runtime.session.QuerySession` per shard —
+    each machine is programmed exactly once with its row slice — and
+    merges per-shard top-k results into global rows on
+    :meth:`run_batch`.  Device noise decorrelates per shard and per
+    batch via one :class:`numpy.random.SeedSequence`, reproducible for a
+    fixed seed.
+
+    The object also acts as the *aggregate machine view* consumed by
+    :func:`repro.simulator.analysis.utilization` /
+    ``format_report`` — ``subarrays_used``/``subarray(i)`` span all
+    shard machines and :meth:`chip_area_mm2` sums their silicon.
+    """
+
+    def __init__(
+        self,
+        shard_set: ShardSet,
+        spec: ArchSpec,
+        tech: TechnologyModel,
+        func_name: str = "forward",
+        noise_sigma: float = 0.0,
+        noise_seed=0,
+    ):
+        if not shard_set.shards:
+            raise SessionError("a sharded session needs at least one shard")
+        self.shard_set = shard_set
+        self.spec = spec
+        self.tech = tech
+        self._noise_seq = (
+            noise_seed
+            if isinstance(noise_seed, np.random.SeedSequence)
+            else np.random.SeedSequence(noise_seed)
+        )
+        children = self._noise_seq.spawn(len(shard_set.shards))
+        self.sessions = [
+            QuerySession(
+                shard.module,
+                spec,
+                tech,
+                [shard.stored],
+                shard.program,
+                func_name=func_name,
+                noise_sigma=noise_sigma,
+                noise_seed=child,
+            )
+            for shard, child in zip(shard_set.shards, children)
+        ]
+        self.k = shard_set.k
+        # Post-legalisation sort direction — identical across shards by
+        # construction (same spec, same pipeline).
+        self.largest = shard_set.shards[0].program.largest
+        self.last_report: Optional[ExecutionReport] = None
+        self.batches_run = 0
+
+    # ------------------------------------------------------------ topology
+    @property
+    def num_shards(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def machines(self) -> List:
+        """The per-shard :class:`~repro.simulator.machine.CamMachine`\\ s."""
+        return [session.machine for session in self.sessions]
+
+    @property
+    def machine(self):
+        """The aggregate machine view (``self``): read-only counters
+        spanning every shard, duck-typed for the analysis helpers."""
+        return self
+
+    @property
+    def row_offsets(self) -> List[int]:
+        return self.shard_set.row_offsets
+
+    # ----------------------------------------------- aggregate machine view
+    @property
+    def banks_used(self) -> int:
+        return sum(m.banks_used for m in self.machines)
+
+    @property
+    def mats_used(self) -> int:
+        return sum(m.mats_used for m in self.machines)
+
+    @property
+    def arrays_used(self) -> int:
+        return sum(m.arrays_used for m in self.machines)
+
+    @property
+    def subarrays_used(self) -> int:
+        return sum(m.subarrays_used for m in self.machines)
+
+    def subarray(self, linear: int):
+        """Subarray state by global linear index across shard machines."""
+        for machine in self.machines:
+            if linear < machine.subarrays_used:
+                return machine.subarray(linear)
+            linear -= machine.subarrays_used
+        raise KeyError(f"no subarray {linear} in the shard set")
+
+    def chip_area_mm2(self) -> float:
+        """Total silicon across all shard machines (areas add)."""
+        return sum(m.chip_area_mm2() for m in self.machines)
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Clear query-side state on every shard; patterns survive."""
+        for session in self.sessions:
+            session.reset()
+        self.last_report = None
+        self.batches_run = 0
+
+    # ------------------------------------------------------------- queries
+    def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+        """Fan a ``B×D`` batch out to every shard and merge the top-k.
+
+        Returns ``[values, indices]`` (``B×k`` float32 / int64) with
+        *global* row indices — bitwise identical (noise disabled) to one
+        unbounded machine holding the whole stored matrix.  The merge
+        re-ranks the shards' float64 candidate scores with the same
+        stable tie-break as the single-machine top-k peripheral.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        outputs = [session.run_batch(queries) for session in self.sessions]
+        n_queries = queries.shape[0]
+        # Candidates concatenate in row-offset order, so the stable
+        # argsort's positional tie-break equals the global-row tie-break.
+        values = np.concatenate(
+            [session.last_values for session in self.sessions], axis=1
+        )
+        indices = np.concatenate(
+            [
+                output[1].astype(np.int64) + offset
+                for output, offset in zip(outputs, self.row_offsets)
+            ],
+            axis=1,
+        )
+        # Candidates are *unclamped* shard scores; ranking matches the
+        # raw-score argsort a single machine performs, and the WTA
+        # clamp (when the tech models one) applies once here — the
+        # candidate-set winner is the global winner, since every shard
+        # keeps its own best.
+        k = min(self.k, values.shape[1])
+        selection, top_values = best_match_batch(
+            values, k, prefers_larger=self.largest,
+            wta_window=self.tech.wta_window,
+        )
+        top_indices = np.take_along_axis(indices, selection, axis=1)
+        n_candidates = values.shape[1]
+        merge_latency = n_queries * self.tech.host_topk_latency(n_candidates)
+        merge_energy = n_queries * self.tech.host_topk_energy(n_candidates)
+        self.last_report = aggregate_reports(
+            [session.last_report for session in self.sessions],
+            merge_latency_ns=merge_latency,
+            merge_energy_pj=merge_energy,
+            queries=n_queries,
+        )
+        self.batches_run += 1
+        return [
+            top_values.astype(np.float32),
+            top_indices.astype(np.int64),
+        ]

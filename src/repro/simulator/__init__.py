@@ -19,7 +19,7 @@ from .cells import (
     quantize,
 )
 from .machine import AllocationError, CamMachine
-from .metrics import EnergyBreakdown, ExecutionReport
+from .metrics import EnergyBreakdown, ExecutionReport, aggregate_reports
 from .peripherals import (
     best_match,
     best_match_batch,
@@ -45,6 +45,7 @@ __all__ = [
     "SubarrayState",
     "Trace",
     "TraceEvent",
+    "aggregate_reports",
     "best_match",
     "best_match_batch",
     "compute_scores",

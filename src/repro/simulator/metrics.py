@@ -3,12 +3,18 @@
 Latency is tracked by the executor's timing model (ns); the machine
 accumulates dynamic energy (pJ) per component and computes standby energy
 from the powered-instance counts when an execution finishes.
+
+Multi-machine (sharded) executions combine per-machine reports with
+:func:`aggregate_reports`: machines work in parallel, so latencies take
+the max over shards (plus an explicit cross-shard merge cost) while
+energy, allocation and work counts sum — N machines burn N machines'
+worth of energy and silicon.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 
 @dataclass
@@ -137,3 +143,42 @@ class ExecutionReport:
             f"power={self.power_mw:.3f}mW "
             f"subarrays={self.subarrays_used} banks={self.banks_used}"
         )
+
+
+def aggregate_reports(
+    reports: Sequence[ExecutionReport],
+    merge_latency_ns: float = 0.0,
+    merge_energy_pj: float = 0.0,
+    queries: Optional[int] = None,
+) -> ExecutionReport:
+    """Combine per-shard reports into one honest multi-machine report.
+
+    Shards run on separate machines in parallel, so latencies take the
+    **max** over shards (plus the cross-shard merge cost, charged to
+    latency and host energy) and energies, allocation counts and search
+    totals **sum**; ``search_cycles`` stays a max (the busiest subarray
+    anywhere).  ``queries`` defaults to the first shard's count (every
+    shard sees the same batch).  Used by
+    :class:`repro.runtime.sharding.ShardedSession` and the sharded
+    pattern matcher.
+    """
+    if not reports:
+        raise ValueError("aggregate_reports needs at least one shard report")
+    energy = EnergyBreakdown()
+    for report in reports:
+        for key, value in report.energy.as_dict().items():
+            setattr(energy, key, getattr(energy, key) + value)
+    energy.host += merge_energy_pj
+    return ExecutionReport(
+        query_latency_ns=max(r.query_latency_ns for r in reports)
+        + merge_latency_ns,
+        setup_latency_ns=max(r.setup_latency_ns for r in reports),
+        energy=energy,
+        banks_used=sum(r.banks_used for r in reports),
+        mats_used=sum(r.mats_used for r in reports),
+        arrays_used=sum(r.arrays_used for r in reports),
+        subarrays_used=sum(r.subarrays_used for r in reports),
+        searches=sum(r.searches for r in reports),
+        search_cycles=max(r.search_cycles for r in reports),
+        queries=queries if queries is not None else reports[0].queries,
+    )

@@ -11,9 +11,12 @@ from .optimizations import (
     subarrays_required,
 )
 from .partitioning import (
+    CapacityError,
     CimPartitionPass,
     PartitionPlan,
+    check_plan_capacity,
     compute_partition_plan,
+    machine_row_capacity,
     plan_of,
 )
 from .similarity_matching import SimilarityMatchingPass, match_similarity
@@ -22,6 +25,7 @@ from .torch_to_cim import TorchToCimPass
 __all__ = [
     "CSEPass",
     "CanonicalizePass",
+    "CapacityError",
     "CimFuseOpsPass",
     "CimToLoopsPass",
     "CimPartitionPass",
@@ -32,7 +36,9 @@ __all__ = [
     "SimilarityMatchingPass",
     "TorchToCimPass",
     "cam_search_metric",
+    "check_plan_capacity",
     "compute_partition_plan",
+    "machine_row_capacity",
     "match_similarity",
     "plan_of",
     "resolve_optimization",

@@ -36,7 +36,7 @@ from repro.ir.value import BlockArgument, Value
 from repro.passes.pass_manager import FunctionPass
 
 from .optimizations import MappingConfig, cam_search_metric, resolve_optimization
-from .partitioning import PartitionPlan, plan_of
+from .partitioning import PartitionPlan, check_plan_capacity, plan_of
 
 
 class LoweringError(RuntimeError):
@@ -144,10 +144,7 @@ def _lower_execute(
 
     n_sub = plan.subarrays
     banks = spec.banks_needed(n_sub)
-    if spec.banks is not None and banks > spec.banks:
-        raise LoweringError(
-            f"kernel needs {banks} banks but the spec caps at {spec.banks}"
-        )
+    check_plan_capacity(plan, spec, config.use_density)
 
     b = OpBuilder.before(execute)
     em = _Emitter(b, spec, plan)

@@ -22,11 +22,113 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.arch.spec import ArchSpec
 from repro.dialects import cim as cim_d
 from repro.ir.operation import Operation
 from repro.passes.pass_manager import FunctionPass
+
+
+class CapacityError(RuntimeError):
+    """The stored-pattern matrix does not fit one machine.
+
+    Raised wherever a kernel would overflow a bank-capped machine —
+    at lowering (``cim-to-cam``), at shard planning, and when building a
+    :class:`~repro.apps.matching.PatternMatcher` — instead of failing
+    deep inside allocation or silently truncating the store.  Carries
+    ``required_rows`` and ``available_rows`` so callers can size a shard
+    set; the hint in the message points at ``num_shards``
+    (:meth:`repro.compiler.C4CAMCompiler.compile`) which splits the rows
+    across machines via :class:`repro.runtime.sharding.ShardedSession`.
+    """
+
+    def __init__(
+        self,
+        plan: "PartitionPlan",
+        spec: ArchSpec,
+        use_density: bool = False,
+    ):
+        self.plan = plan
+        self.spec = spec
+        self.required_rows = plan.patterns
+        self.available_rows = machine_row_capacity(
+            spec, plan.features, use_density
+        )
+        banks = spec.banks_needed(plan.subarrays)
+        prefix = (
+            f"stored matrix of {plan.patterns} rows x {plan.features} "
+            f"features needs {plan.subarrays} subarrays ({banks} banks) "
+            f"but the machine caps at {spec.banks} banks "
+            f"({self.available_rows} rows at this feature width); "
+        )
+        if self.available_rows:
+            min_shards = math.ceil(self.required_rows / self.available_rows)
+            hint = (
+                f"shard the kernel across >= {min_shards} machines "
+                f"(compile(num_shards=...) / --shards; requires a model "
+                f"that is exactly one similarity kernel) or enlarge the "
+                f"spec"
+            )
+        else:
+            hint = (
+                "not even a single stored row fits at this feature "
+                "width, so sharding cannot help; enlarge the spec"
+            )
+        super().__init__(prefix + hint)
+
+
+def machine_row_capacity(
+    spec: ArchSpec, features: int, use_density: bool = False
+) -> Optional[int]:
+    """Stored-pattern rows one bank-capped machine holds at ``features``.
+
+    ``None`` means unbounded (``spec.banks is None``): the machine grows
+    banks on demand and every store fits.  The plain placement gives
+    each row tile ``col_tiles`` subarrays; with the density optimization
+    (and a device supporting selective search) up to ``rows`` patterns
+    can additionally stack several column tiles per subarray, which can
+    fit stores the plain placement cannot — the bound is the max over
+    both regimes, consistent with
+    :func:`compute_partition_plan`'s ``subarrays``.
+    """
+    if spec.banks is None:
+        return None
+    col_tile = min(spec.cols, features)
+    col_tiles = math.ceil(features / col_tile)
+    max_subarrays = spec.banks * spec.subarrays_per_bank
+    plain = (max_subarrays // col_tiles) * spec.rows
+    if not (use_density and spec.selective_search) or plain >= spec.rows:
+        # Density stacking only applies to stores of <= `rows` patterns;
+        # when the plain capacity already covers that range it dominates.
+        return plain
+    # Density regime: R <= rows patterns stack rows//R column tiles per
+    # subarray, needing ceil(col_tiles / (rows // R)) subarrays — a
+    # monotone function of R, so binary-search the largest fitting R.
+    best, lo, hi = plain, 1, spec.rows
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if math.ceil(col_tiles / (spec.rows // mid)) <= max_subarrays:
+            best = max(best, mid)
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return best
+
+
+def check_plan_capacity(
+    plan: "PartitionPlan", spec: ArchSpec, use_density: bool = False
+) -> None:
+    """Raise :class:`CapacityError` when ``plan`` overflows ``spec``.
+
+    ``use_density`` only shapes the error's available-row figure and
+    sharding hint; the overflow test itself reads the plan's own
+    subarray count.
+    """
+    if spec.banks is None:
+        return
+    if spec.banks_needed(plan.subarrays) > spec.banks:
+        raise CapacityError(plan, spec, use_density)
 
 
 @dataclass(frozen=True)

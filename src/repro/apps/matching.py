@@ -17,7 +17,10 @@ A rule store larger than one bank-capped machine raises
 :class:`ShardedPatternMatcher` splits the rows across several machines
 instead (same fan-out/merge model as
 :class:`repro.runtime.sharding.ShardedSession`) and returns global
-pattern ids.
+pattern ids.  Both matchers also serve asynchronously:
+:meth:`PatternMatcher.serve` puts the replicated micro-batching engine
+(:class:`repro.runtime.serving.ServingEngine`) in front of the store —
+submit queries, receive futures of :class:`MatchResult` lists.
 """
 
 from __future__ import annotations
@@ -188,6 +191,60 @@ class PatternMatcher:
         rep.queries = self._queries
         return rep
 
+    def serve(
+        self,
+        threshold: float = 0.0,
+        num_replicas: int = 1,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+    ):
+        """An async lookup engine over this rule store.
+
+        Returns a :class:`~repro.runtime.serving.ServingEngine` whose
+        ``submit(query)`` futures resolve to the request's list of
+        :class:`MatchResult`\\ s (one per submitted row) — identical to
+        :meth:`lookup_batch` on the same rows at the fixed
+        ``threshold``.  ``num_replicas > 1`` programs additional
+        matchers over the same patterns (this matcher is replica 0;
+        don't run synchronous lookups on it while the engine is live)
+        and load-balances micro-batches across them.
+        """
+        matchers = [self] + [
+            type(self)(self.patterns, self.spec, self.tech)
+            for _ in range(num_replicas - 1)
+        ]
+        return _serve_matchers(matchers, threshold, max_batch, max_wait)
+
+
+class _MatcherReplica:
+    """Adapts a pattern matcher to the serving engine's replica contract:
+    ``run_batch`` at a fixed threshold, per-matcher ``report()``."""
+
+    def __init__(self, matcher, threshold: float):
+        self.matcher = matcher
+        self.threshold = threshold
+        #: Query width, so the engine can reject misfits at submit().
+        self.features = matcher.patterns.shape[1]
+
+    def run_batch(self, queries: np.ndarray) -> List[MatchResult]:
+        return self.matcher.lookup_batch(queries, self.threshold)
+
+    def report(self) -> ExecutionReport:
+        return self.matcher.report()
+
+
+def _serve_matchers(matchers, threshold, max_batch, max_wait):
+    from repro.runtime.serving import ServingEngine
+
+    return ServingEngine(
+        [_MatcherReplica(m, threshold) for m in matchers],
+        max_batch=max_batch,
+        max_wait=max_wait,
+        # lookup_batch returns one MatchResult per query row; a
+        # request's slice is just the sub-list.
+        split=lambda results, lo, hi: results[lo:hi],
+    )
+
 
 class ShardedPatternMatcher:
     """A pattern store spanning several machines (row sharding).
@@ -298,3 +355,22 @@ class ShardedPatternMatcher:
             queries=self._queries,
         )
         return rep
+
+    def serve(
+        self,
+        threshold: float = 0.0,
+        num_replicas: int = 1,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+    ):
+        """Async lookups over the sharded store; see
+        :meth:`PatternMatcher.serve`.  Each replica is a full shard
+        group (every replica holds all rows across its own machines)."""
+        matchers = [self] + [
+            ShardedPatternMatcher(
+                self.patterns, self.spec, self.tech,
+                num_shards=self.num_shards,
+            )
+            for _ in range(num_replicas - 1)
+        ]
+        return _serve_matchers(matchers, threshold, max_batch, max_wait)

@@ -7,6 +7,7 @@ Mirrors an ``mlir-opt``-style workflow on the built-in HDC workload:
     python -m repro.cli --pipeline torch-to-cim,cim-fuse-ops --dump-ir cim
     python -m repro.cli --batch 64 --stats   # one session, 64 queries
     python -m repro.cli --banks 1 --patterns 512 --shards 4  # multi-machine
+    python -m repro.cli --replicas 2 --serve --batch 16  # async serving
 
 The driver traces the paper's Fig. 4a kernel on synthetic data, runs the
 requested pipeline, optionally prints the IR, executes on the simulated
@@ -63,6 +64,19 @@ def make_parser() -> argparse.ArgumentParser:
         help="shard the stored patterns across N machines "
         "(default: auto — shard only when the store overflows one "
         "machine; 1 forces single-machine and fails on overflow)",
+    )
+    p.add_argument(
+        "--replicas", type=int, metavar="R",
+        help="program R independent replicas of the (possibly sharded) "
+        "store and route batches to the least-loaded one (throughput, "
+        "not capacity)",
+    )
+    p.add_argument(
+        "--serve", action="store_true",
+        help="demo the async serving engine: submit the workload as "
+        "individual queries through the micro-batching queue and report "
+        "the aggregate deployment metrics (honours --batch as the "
+        "request count and --replicas)",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -129,6 +143,10 @@ def main(argv=None) -> int:
         parser.error(f"--batch must be a positive query count, got {args.batch}")
     if args.shards is not None and args.shards < 1:
         parser.error(f"--shards must be a positive machine count, got {args.shards}")
+    if args.replicas is not None and args.replicas < 1:
+        parser.error(
+            f"--replicas must be a positive replica count, got {args.replicas}"
+        )
     if args.banks is not None and args.banks < 1:
         parser.error(f"--banks must be a positive bank count, got {args.banks}")
     spec = load_spec(args)
@@ -180,7 +198,10 @@ def main(argv=None) -> int:
         return 0
 
     try:
-        kernel = compiler.compile(model, example, num_shards=args.shards)
+        kernel = compiler.compile(
+            model, example, num_shards=args.shards,
+            num_replicas=args.replicas or 1,
+        )
     except (CapacityError, ValueError) as exc:
         # CapacityError: the store overflows and sharding was refused;
         # ValueError: an unusable shard request (e.g. more shards than
@@ -189,6 +210,35 @@ def main(argv=None) -> int:
         return 1
     if kernel.num_shards > 1:
         print(f"sharded across {kernel.num_shards} machines")
+    if kernel.num_replicas > 1:
+        print(f"replicated across {kernel.num_replicas} copies")
+    if args.serve:
+        rng = np.random.default_rng(args.seed + 1)
+        n_requests = args.batch or args.queries
+        requests = rng.choice([-1.0, 1.0], (n_requests, args.dims)).astype(
+            np.float32
+        )
+        # Size micro-batches so the demo visibly spreads work across
+        # the replicas (two dispatch rounds each) instead of coalescing
+        # the whole workload into one batch.
+        max_batch = max(1, min(32, -(-n_requests // (2 * kernel.num_replicas))))
+        with kernel.serve(max_batch=max_batch) as engine:
+            futures = [engine.submit(q) for q in requests]
+            indices = np.vstack([f.result()[1] for f in futures])
+        stats = engine.stats()
+        report = engine.report()
+        print(f"predicted indices: {indices.ravel().tolist()}")
+        print(
+            f"served {stats['requests_submitted']} requests in "
+            f"{stats['batches_dispatched']} micro-batches across "
+            f"{engine.num_replicas} replica(s): "
+            f"{report.throughput_qps:.3e} queries/s aggregate"
+        )
+        if args.stats:
+            print(format_report(report, engine.session.machine))
+        else:
+            print(report.summary())
+        return 0
     if args.batch:
         rng = np.random.default_rng(args.seed + 1)
         batch = rng.choice([-1.0, 1.0], (args.batch, args.dims)).astype(

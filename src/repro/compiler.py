@@ -48,6 +48,16 @@ forces single-machine compilation (raising on overflow).  Sharded
 results are bitwise identical to one unbounded machine; reports sum
 energy/area across shards and take max-over-shards latency plus the
 cross-shard merge (see :mod:`repro.runtime.sharding`).
+
+Replication and serving.  ``compile(num_replicas=R)`` programs R
+independent copies of the whole (possibly sharded) store — replicas
+clone the compiled session without recompiling — and routes every batch
+to the least-loaded copy
+(:class:`~repro.runtime.serving.ReplicatedSession`); ``kernel.serve()``
+opens the asynchronous micro-batching front door
+(:class:`~repro.runtime.serving.ServingEngine`): submit single queries
+or small batches, receive futures whose results are bitwise identical
+to a direct ``run_batch`` on the same rows.
 """
 
 from __future__ import annotations
@@ -67,6 +77,7 @@ from repro.ir.printer import print_module
 from repro.ir.value import BlockArgument
 from repro.passes.pass_manager import PassManager
 from repro.runtime.executor import Interpreter
+from repro.runtime.serving import ReplicatedSession, ServingEngine
 from repro.runtime.session import QueryProgram, QuerySession, SessionError
 from repro.runtime.sharding import (
     ShardedSession,
@@ -204,6 +215,7 @@ class CompiledKernel:
         query_programs: Sequence[QueryProgram] = (),
         cache_session: bool = True,
         shard_set: Optional[ShardSet] = None,
+        num_replicas: int = 1,
     ):
         self.module = module
         self.spec = spec
@@ -216,6 +228,7 @@ class CompiledKernel:
         self.query_programs = list(query_programs)
         self.cache_session = cache_session
         self.shard_set = shard_set
+        self.num_replicas = num_replicas
         self.last_report: Optional[ExecutionReport] = None
         self.last_machine: Optional[CamMachine] = None
         self._session: Optional[QuerySession] = None
@@ -258,7 +271,7 @@ class CompiledKernel:
 
     def _open_session(self) -> QuerySession:
         if self.shard_set is not None:
-            return ShardedSession(
+            base = ShardedSession(
                 self.shard_set,
                 self.spec,
                 self.tech,
@@ -266,6 +279,7 @@ class CompiledKernel:
                 noise_sigma=self.noise_sigma,
                 noise_seed=self._noise_seq.spawn(1)[0],
             )
+            return self._replicate(base)
         if not self.uses_machine or len(self.query_programs) != 1:
             raise SessionError(
                 "batched sessions need a machine-lowered kernel with "
@@ -278,7 +292,7 @@ class CompiledKernel:
                 "program's (values, indices) directly; run it through "
                 "__call__ so the interpreter reproduces its dataflow"
             )
-        return QuerySession(
+        base = QuerySession(
             self.module,
             self.spec,
             self.tech,
@@ -288,6 +302,13 @@ class CompiledKernel:
             noise_sigma=self.noise_sigma,
             noise_seed=self._noise_seq.spawn(1)[0],
         )
+        return self._replicate(base)
+
+    def _replicate(self, base):
+        """Wrap the base session in R programmed replicas when asked."""
+        if self.num_replicas <= 1:
+            return base
+        return ReplicatedSession(base, self.num_replicas)
 
     def session(self) -> QuerySession:
         """The cached query session, opened (machine programmed) lazily.
@@ -323,6 +344,35 @@ class CompiledKernel:
         self.last_report = session.last_report
         self.last_machine = session.machine
         return outputs
+
+    def serve(
+        self,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        time_scale: float = 0.0,
+    ) -> ServingEngine:
+        """An async serving engine over this kernel's live session(s).
+
+        Opens (or reuses) the cached session — replicated across
+        ``num_replicas`` machines when compiled with
+        ``compile(num_replicas=...)`` — and returns a
+        :class:`~repro.runtime.serving.ServingEngine`: ``submit()``
+        single queries or small batches, get per-request futures whose
+        results are bitwise identical to :meth:`run_batch` on the same
+        rows.  Shut the engine down (or use it as a context manager)
+        when done; the kernel's session stays programmed afterwards.
+        """
+        if not self._sessionable:
+            raise SessionError(
+                "serving requires a session-served kernel (a machine-"
+                "lowered model returning its similarity results directly)"
+            )
+        return ServingEngine(
+            self.session(),
+            max_batch=max_batch,
+            max_wait=max_wait,
+            time_scale=time_scale,
+        )
 
     def __call__(self, *inputs: np.ndarray) -> List[np.ndarray]:
         """Execute the kernel; returns the kernel outputs.
@@ -391,6 +441,7 @@ class C4CAMCompiler:
         noise_seed: int = 0,
         cache_session: bool = True,
         num_shards: Optional[int] = None,
+        num_replicas: int = 1,
     ) -> CompiledKernel:
         """Full pipeline: trace → torch IR → cim → cam.
 
@@ -408,13 +459,30 @@ class C4CAMCompiler:
         that many machines, and ``1`` forces single-machine compilation —
         overflowing it raises
         :class:`~repro.transforms.partitioning.CapacityError`.
+
+        ``num_replicas`` adds the throughput axis: R independently
+        programmed copies of the whole (possibly sharded) store served
+        through a :class:`~repro.runtime.serving.ReplicatedSession` —
+        batches route to the least-loaded replica, results stay bitwise
+        identical, and reports aggregate the concurrent deployment
+        (``kernel.session().report()``).  Combine with
+        :meth:`CompiledKernel.serve` for the async micro-batching front
+        door.  Replication compiles *once*: replicas clone the session's
+        artifacts and only re-program their own machines.
         """
         if num_shards is not None and num_shards < 1:
             raise ValueError("num_shards must be >= 1 (or None for auto)")
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
         if not lower_to_cam and num_shards not in (None, 1):
             raise ValueError(
                 "num_shards requires lower_to_cam=True: the host "
                 "reference path has no machines to shard across"
+            )
+        if not lower_to_cam and num_replicas != 1:
+            raise ValueError(
+                "num_replicas requires lower_to_cam=True: the host "
+                "reference path has no machines to replicate"
             )
         module, params = self.import_torchscript(fn, example_inputs)
         # Stage 1: lower to the cim level (fused similarity + plan).
@@ -474,7 +542,7 @@ class C4CAMCompiler:
             cam = CimToCamPass(self.spec, config)
             PassManager([cam]).run(module)
             programs = list(cam.programs)
-        return CompiledKernel(
+        kernel = CompiledKernel(
             module,
             self.spec,
             self.tech,
@@ -485,7 +553,15 @@ class C4CAMCompiler:
             query_programs=programs,
             cache_session=cache_session,
             shard_set=shard_set,
+            num_replicas=num_replicas,
         )
+        if num_replicas > 1 and not kernel._sessionable:
+            raise SessionError(
+                "num_replicas > 1 requires a session-served kernel: the "
+                "traced function must return its similarity (values, "
+                "indices) directly (and cache_session must stay enabled)"
+            )
+        return kernel
 
     def reference(
         self, fn: Callable, example_inputs: Sequence[Tensor]

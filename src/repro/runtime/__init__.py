@@ -1,7 +1,9 @@
 """Runtime: the IR interpreter, batched query sessions, sharded
-multi-machine sessions and host reference semantics."""
+multi-machine sessions, the replicated async serving layer and host
+reference semantics."""
 
 from .executor import ExecutionError, Interpreter
+from .serving import ReplicatedSession, ServingEngine
 from .session import QueryProgram, QuerySession, SessionError
 from .sharding import (
     Shard,
@@ -19,6 +21,8 @@ __all__ = [
     "Interpreter",
     "QueryProgram",
     "QuerySession",
+    "ReplicatedSession",
+    "ServingEngine",
     "SessionError",
     "Shard",
     "ShardedSession",

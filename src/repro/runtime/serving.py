@@ -1,0 +1,639 @@
+"""Replicated sessions and the async micro-batching serving engine.
+
+PR 1 made the CAM a program-once / query-many device
+(:class:`~repro.runtime.session.QuerySession`) and PR 2 scaled stored
+*capacity* past one machine
+(:class:`~repro.runtime.sharding.ShardedSession`) — but the runtime
+still served one synchronous batch at a time from a single copy of the
+store.  This module adds the *throughput* axis, the way asynchronous
+memory-access designs (AMU) decouple request issue from completion on
+fixed-latency hardware and hybrid data planes route each request to the
+best path:
+
+* :class:`ReplicatedSession` — R independently programmed **replicas**
+  of one (possibly sharded) store.  Replicas are cloned from the
+  compiled session (``clone()``: same lowered modules, plans and query
+  programs — nothing recompiles; only the per-copy machine programming
+  that real replicated hardware genuinely pays).  Each batch routes to
+  the least-loaded replica; per-replica "lane" accounting merges into an
+  honest concurrent report
+  (:func:`~repro.simulator.metrics.merge_concurrent_reports`): energy
+  and silicon scale with R, wall time is the longest lane, and
+  ``throughput_qps`` reflects the concurrency replication buys.
+* :class:`ServingEngine` — an asynchronous front door.  Clients
+  ``submit()`` single queries or small batches and get a
+  :class:`~concurrent.futures.Future` back immediately; a dispatcher
+  thread coalesces queued requests into micro-batches (up to
+  ``max_batch`` rows, waiting at most ``max_wait`` seconds to fill one)
+  and hands each micro-batch to the least-loaded replica's worker.
+
+**Identity guarantee** — with device noise disabled, the values/indices
+a future resolves to are *bitwise identical* to calling the underlying
+session's ``run_batch`` directly on that request's rows, regardless of
+how requests were coalesced or which replica served them: every replica
+is programmed with the same stored set, and match-line scores are
+row-local, so micro-batch grouping cannot change any per-query result.
+(With ``noise_sigma > 0`` replicas draw decorrelated noise streams and
+the guarantee intentionally does not hold.)
+
+Scheduling is wall-clock-real but device time is simulated; the optional
+``time_scale`` knob (wall seconds per simulated nanosecond) makes each
+worker *hold* its replica for the micro-batch's simulated latency, so
+wall-clock experiments (e.g. ``benchmarks/test_serving_throughput.py``)
+see the fixed-latency-device behaviour the paper's hardware would have.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulator.metrics import (
+    EnergyBreakdown,
+    ExecutionReport,
+    merge_concurrent_reports,
+)
+
+from .session import SessionError
+
+__all__ = ["ReplicatedSession", "ServingEngine"]
+
+
+# ----------------------------------------------------------------- lanes
+def _setup_report(replica) -> ExecutionReport:
+    """A zero-query report carrying ``replica``'s setup cost and silicon.
+
+    The starting point of one replica's lane: even a replica that never
+    serves a batch burned its pattern-programming energy and occupies
+    its machines.
+    """
+    sessions = getattr(replica, "sessions", None)
+    if sessions is not None:  # ShardedSession: one machine per shard
+        write = sum(s.setup_energy_pj for s in sessions)
+        setup = max(s.setup_latency_ns for s in sessions)
+        view = replica  # the aggregate machine view
+    else:
+        write = replica.setup_energy_pj
+        setup = replica.setup_latency_ns
+        view = replica.machine
+    return ExecutionReport(
+        setup_latency_ns=setup,
+        energy=EnergyBreakdown(write=write),
+        banks_used=view.banks_used,
+        mats_used=view.mats_used,
+        arrays_used=view.arrays_used,
+        subarrays_used=view.subarrays_used,
+        queries=0,
+        spec=replica.spec,
+    )
+
+
+class _LaneStats:
+    """Serialized totals of one replica's traffic (its "lane")."""
+
+    def __init__(self, replica):
+        self.base = _setup_report(replica)
+        self.latency_ns = 0.0
+        self.queries = 0
+        self.searches = 0
+        self.cycles = 0
+        self.energy = EnergyBreakdown()
+
+    def add(self, report: ExecutionReport) -> None:
+        """Fold one batch report into the lane.
+
+        Batch reports each re-state the session's one-time setup (write)
+        cost; the lane charges it once via :attr:`base` instead.
+        """
+        self.latency_ns += report.query_latency_ns
+        self.queries += report.queries
+        self.searches += report.searches
+        self.cycles += report.search_cycles
+        for key, value in report.energy.as_dict().items():
+            if key != "write":
+                setattr(self.energy, key, getattr(self.energy, key) + value)
+
+    def report(self) -> ExecutionReport:
+        energy = EnergyBreakdown(**self.energy.as_dict())
+        energy.write = self.base.energy.write
+        return ExecutionReport(
+            query_latency_ns=self.latency_ns,
+            setup_latency_ns=self.base.setup_latency_ns,
+            energy=energy,
+            banks_used=self.base.banks_used,
+            mats_used=self.base.mats_used,
+            arrays_used=self.base.arrays_used,
+            subarrays_used=self.base.subarrays_used,
+            searches=self.searches,
+            search_cycles=self.cycles,
+            queries=self.queries,
+            spec=self.base.spec,
+        )
+
+
+# ----------------------------------------------------------- replication
+class ReplicatedSession:
+    """R independently programmed copies of one store, for throughput.
+
+    Wraps a compiled :class:`~repro.runtime.session.QuerySession` or
+    :class:`~repro.runtime.sharding.ShardedSession` and clones it
+    ``num_replicas - 1`` times — sharing every compiled artifact,
+    programming a fresh machine (or machine group) per copy.  Unlike
+    sharding, every replica holds the *whole* store: replication buys
+    concurrent serving capacity, not rows.
+
+    :meth:`run_batch` keeps the synchronous session contract (identical
+    results, per-batch ``last_report``) while routing each batch to the
+    replica with the least accumulated simulated busy time;
+    :meth:`run_on` pins a batch to an explicit replica (the
+    :class:`ServingEngine` routes by queue depth and calls this).
+    :meth:`report` merges the per-replica lanes into one concurrent
+    deployment report — energy/area scale with R, latency is the longest
+    lane, ``throughput_qps`` reflects the added concurrency.
+
+    The object is also the aggregate machine view over every replica
+    machine (for :func:`repro.simulator.analysis.utilization` /
+    ``format_report``), mirroring ``ShardedSession``.
+    """
+
+    def __init__(self, base, num_replicas: int):
+        if num_replicas < 1:
+            raise SessionError("a replicated session needs >= 1 replica")
+        if not hasattr(base, "clone"):
+            raise SessionError(
+                "the base session cannot be replicated: it does not "
+                "support clone() (need a QuerySession or ShardedSession)"
+            )
+        self.replicas = [base]
+        for _ in range(num_replicas - 1):
+            self.replicas.append(base.clone())
+        self.spec = base.spec
+        self.tech = base.tech
+        self._lock = threading.Lock()
+        self._lanes = [_LaneStats(replica) for replica in self.replicas]
+        self.last_report: Optional[ExecutionReport] = None
+        self.batches_run = 0
+
+    # ------------------------------------------------------------ topology
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def machines(self) -> List:
+        """Every physical machine across all replicas (shards included)."""
+        out = []
+        for replica in self.replicas:
+            group = getattr(replica, "machines", None)
+            if group is not None:
+                out.extend(group)
+            else:
+                out.append(replica.machine)
+        return out
+
+    @property
+    def machine(self):
+        """The aggregate machine view (``self``), duck-typed for the
+        analysis helpers — counters and area span every replica."""
+        return self
+
+    # ----------------------------------------------- aggregate machine view
+    @property
+    def banks_used(self) -> int:
+        return sum(m.banks_used for m in self.machines)
+
+    @property
+    def mats_used(self) -> int:
+        return sum(m.mats_used for m in self.machines)
+
+    @property
+    def arrays_used(self) -> int:
+        return sum(m.arrays_used for m in self.machines)
+
+    @property
+    def subarrays_used(self) -> int:
+        return sum(m.subarrays_used for m in self.machines)
+
+    def subarray(self, linear: int):
+        """Subarray state by global linear index across replica machines."""
+        for machine in self.machines:
+            if linear < machine.subarrays_used:
+                return machine.subarray(linear)
+            linear -= machine.subarrays_used
+        raise KeyError(f"no subarray {linear} in the replica set")
+
+    def chip_area_mm2(self) -> float:
+        """Total silicon: R replicas really occupy R machines' worth."""
+        return sum(m.chip_area_mm2() for m in self.machines)
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Clear query-side state on every replica; patterns survive."""
+        for replica in self.replicas:
+            replica.reset()
+        with self._lock:
+            self._lanes = [_LaneStats(r) for r in self.replicas]
+            self.last_report = None
+            self.batches_run = 0
+
+    # ------------------------------------------------------------- queries
+    def run_on(self, index: int, queries: np.ndarray) -> List[np.ndarray]:
+        """Serve one batch on replica ``index``; records its lane.
+
+        Concurrent calls are safe for *distinct* indices (the engine
+        runs one worker per replica); a single replica must serve its
+        batches serially, like the hardware it models.
+        """
+        replica = self.replicas[index]
+        outputs = replica.run_batch(queries)
+        report = replica.last_report
+        with self._lock:
+            self._lanes[index].add(report)
+            self.last_report = report
+            self.batches_run += 1
+        return outputs
+
+    def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+        """Serve one batch on the least-loaded replica (synchronous).
+
+        Load is the lane's accumulated simulated busy time, so a stream
+        of equal batches round-robins and unequal batches rebalance;
+        ties break to the lowest replica index.  Results and the
+        per-batch ``last_report`` are exactly what the base session
+        would produce.
+        """
+        with self._lock:
+            index = min(
+                range(len(self.replicas)),
+                key=lambda i: (self._lanes[i].latency_ns, i),
+            )
+        return self.run_on(index, queries)
+
+    # -------------------------------------------------------------- report
+    def lane_reports(self) -> List[ExecutionReport]:
+        """One serialized report per replica lane (setup charged once)."""
+        with self._lock:
+            return [lane.report() for lane in self._lanes]
+
+    def report(self) -> ExecutionReport:
+        """The concurrent deployment report across all replica lanes."""
+        return merge_concurrent_reports(self.lane_reports())
+
+
+# -------------------------------------------------------------- the engine
+class _Request:
+    """One queued client request: its rows and the future to resolve."""
+
+    __slots__ = ("queries", "rows", "future")
+
+    def __init__(self, queries: np.ndarray):
+        self.queries = queries
+        self.rows = queries.shape[0]
+        self.future: Future = Future()
+
+
+_SHUTDOWN = object()
+
+
+def _feature_width(replica) -> Optional[int]:
+    """The query width ``replica`` serves, when it can tell us."""
+    program = getattr(replica, "program", None)
+    if program is not None:
+        return program.plan.features
+    shard_set = getattr(replica, "shard_set", None)
+    if shard_set is not None:
+        return shard_set.features
+    return getattr(replica, "features", None)
+
+
+def _default_split(result, lo: int, hi: int):
+    """Slice a ``run_batch``-shaped result (arrays over the batch dim)."""
+    if isinstance(result, np.ndarray):
+        return result[lo:hi]
+    if isinstance(result, (list, tuple)):
+        return type(result)(part[lo:hi] for part in result)
+    raise TypeError(
+        f"cannot split a {type(result).__name__} result across requests; "
+        "pass an explicit split= function to the ServingEngine"
+    )
+
+
+class ServingEngine:
+    """Async front door: queue in, micro-batches out, futures back.
+
+    ``session`` is what to serve on: a :class:`ReplicatedSession` (the
+    usual case), a bare ``QuerySession``/``ShardedSession`` (wrapped
+    into a single-replica deployment), or an explicit list of replica
+    backends — any objects with ``run_batch(queries)`` (used by
+    :meth:`repro.apps.matching.PatternMatcher.serve`, whose results are
+    per-query lists rather than stacked arrays; such backends pass a
+    matching ``split``).
+
+    Three kinds of thread cooperate:
+
+    * **clients** call :meth:`submit` (thread-safe, non-blocking) and
+      hold the returned future;
+    * one **dispatcher** coalesces queued requests into micro-batches —
+      a batch closes when it holds ``max_batch`` query rows or
+      ``max_wait`` seconds passed since its first request (a request
+      that would overflow the cap seeds the next batch instead, so
+      micro-batches never exceed ``max_batch`` unless a single request
+      alone does) — and assigns each batch to the replica with the
+      fewest outstanding rows;
+    * one **worker per replica** serves its queue in order, optionally
+      holds the replica for the batch's simulated latency
+      (``time_scale`` wall-seconds per simulated ns), then resolves
+      each request's future with its slice of the batch result.
+
+    :meth:`shutdown` drains in-flight work (``wait=True``, the default —
+    every already-submitted future resolves) or aborts it
+    (``wait=False`` — unserved futures are cancelled); either way the
+    engine refuses new submissions afterwards.  The engine is a context
+    manager: a clean ``with`` exit drains, an exceptional one aborts.
+    """
+
+    def __init__(
+        self,
+        session,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        time_scale: float = 0.0,
+        split: Optional[Callable] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be a positive row count")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0 seconds")
+        if isinstance(session, (list, tuple)):
+            if not session:
+                raise SessionError("the engine needs at least one replica")
+            self.session = None
+            self._replicas = list(session)
+        else:
+            if not hasattr(session, "run_on"):
+                session = ReplicatedSession(session, 1)
+            self.session = session
+            self._replicas = session.replicas
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.time_scale = time_scale
+        self._split = split or _default_split
+        # Feature width every request must share (requests coalesce).
+        # Seeded from the backend when it knows; otherwise the first
+        # request pins it.
+        self._features: Optional[int] = _feature_width(self._replicas[0])
+
+        self._intake: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._abort = False
+        self._outstanding = [0] * len(self._replicas)
+        self.requests_submitted = 0
+        self.batches_dispatched = 0
+        self.rows_dispatched = [0] * len(self._replicas)
+
+        # Wall-clock device booking per replica (pacing): the time until
+        # which the simulated device is occupied, so queued micro-batches
+        # run back-to-back regardless of host scheduling jitter.
+        self._busy_until = [0.0] * len(self._replicas)
+        self._worker_queues = [queue.Queue() for _ in self._replicas]
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,), daemon=True,
+                name=f"serving-replica-{i}",
+            )
+            for i in range(len(self._replicas))
+        ]
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, daemon=True, name="serving-dispatch"
+        )
+        for worker in self._workers:
+            worker.start()
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------- clients
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    def submit(self, queries: np.ndarray) -> Future:
+        """Enqueue one request (a single ``D`` query or a small ``B×D``
+        batch); returns its future immediately.
+
+        The future resolves to the request's own rows of the batch
+        result — for session backends, ``[values, indices]`` arrays with
+        leading dimension ``B`` (1 for a single query) — bitwise what
+        ``run_batch`` on exactly these rows returns.  It raises the
+        serving error if the backend failed, and is cancelled if the
+        engine shuts down with ``wait=False`` before serving it.
+        """
+        batch = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if batch.ndim != 2 or batch.shape[0] == 0:
+            raise ValueError(
+                "submit() takes one 1-D query or a non-empty 2-D batch"
+            )
+        request = _Request(batch)
+        with self._lock:
+            if self._closed:
+                raise SessionError(
+                    "the serving engine is shut down; no new requests"
+                )
+            # All requests must share one feature width — they coalesce
+            # into micro-batches; reject misfits here, at the caller,
+            # instead of poisoning a whole micro-batch later.
+            if self._features is None:
+                self._features = batch.shape[1]
+            elif batch.shape[1] != self._features:
+                raise ValueError(
+                    f"query width {batch.shape[1]} does not match this "
+                    f"engine's feature dimension {self._features}"
+                )
+            self.requests_submitted += 1
+            self._intake.put(request)
+        return request.future
+
+    def map(self, queries: np.ndarray) -> List[Future]:
+        """Submit every row of ``queries`` as its own request."""
+        batch = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.submit(row) for row in batch]
+
+    # ---------------------------------------------------------- dispatcher
+    def _dispatch_loop(self) -> None:
+        holdover: Optional[_Request] = None
+        while True:
+            first = holdover if holdover is not None else self._intake.get()
+            holdover = None
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            rows = first.rows
+            deadline = time.monotonic() + self.max_wait
+            stop = False
+            while rows < self.max_batch:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+                try:
+                    nxt = self._intake.get(timeout=timeout)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stop = True
+                    break
+                if rows + nxt.rows > self.max_batch:
+                    holdover = nxt  # seeds the next micro-batch
+                    break
+                batch.append(nxt)
+                rows += nxt.rows
+            self._dispatch(batch, rows)
+            if stop:
+                break
+
+    def _dispatch(self, batch: List[_Request], rows: int) -> None:
+        with self._lock:
+            index = min(
+                range(len(self._replicas)),
+                key=lambda i: (self._outstanding[i], i),
+            )
+            self._outstanding[index] += rows
+            self.batches_dispatched += 1
+            self.rows_dispatched[index] += rows
+        if len(batch) == 1:
+            queries = batch[0].queries
+        else:
+            queries = np.concatenate([r.queries for r in batch], axis=0)
+        self._worker_queues[index].put((batch, queries, time.perf_counter()))
+
+    # ------------------------------------------------------------- workers
+    def _run(self, index: int, queries: np.ndarray):
+        if self.session is not None:
+            return self.session.run_on(index, queries)
+        return self._replicas[index].run_batch(queries)
+
+    def _pace(self, index: int, dispatched: float) -> None:
+        """Book the replica's simulated batch latency on the wall clock.
+
+        Occupancy is booked back-to-back from the *dispatch* time: a
+        micro-batch that arrives while the device is still busy starts
+        when it frees, so a queued replica drains at exactly its service
+        rate (absolute deadlines — host scheduling jitter does not
+        accumulate), while an idle replica charges the full service time
+        from arrival.  This is the fixed-latency-device behaviour the
+        async-serving benchmarks measure.
+        """
+        if self.time_scale <= 0.0:
+            return
+        report = getattr(self._replicas[index], "last_report", None)
+        if report is None:
+            return
+        busy_s = report.query_latency_ns * self.time_scale
+        target = max(dispatched, self._busy_until[index]) + busy_s
+        self._busy_until[index] = target
+        remaining = target - time.perf_counter()
+        if remaining > 0:
+            time.sleep(remaining)
+
+    def _worker_loop(self, index: int) -> None:
+        inbox = self._worker_queues[index]
+        while True:
+            item = inbox.get()
+            if item is _SHUTDOWN:
+                break
+            batch, queries, dispatched = item
+            try:
+                if self._abort:
+                    for request in batch:
+                        request.future.cancel()
+                    continue
+                # Any failure — the backend, the pacing, or splitting
+                # the result — is delivered to the batch's futures; the
+                # lane itself must survive to serve later batches.
+                try:
+                    result = self._run(index, queries)
+                    self._pace(index, dispatched)
+                    offset = 0
+                    for request in batch:
+                        piece = self._split(
+                            result, offset, offset + request.rows
+                        )
+                        offset += request.rows
+                        self._resolve(request.future.set_result, piece)
+                except BaseException as exc:
+                    for request in batch:
+                        self._resolve(request.future.set_exception, exc)
+            finally:
+                with self._lock:
+                    self._outstanding[index] -= sum(r.rows for r in batch)
+
+    @staticmethod
+    def _resolve(setter, payload) -> None:
+        try:
+            setter(payload)
+        except InvalidStateError:
+            pass  # the client cancelled this future; nothing to deliver
+
+    # ------------------------------------------------------------ lifecycle
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the engine.  Idempotent.
+
+        ``wait=True`` (default) drains: every request submitted before
+        the call is served and its future resolved before this returns.
+        ``wait=False`` aborts: queued and not-yet-served requests get
+        their futures cancelled; only the batches already inside a
+        backend finish.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if not wait:
+            self._abort = True
+        if already:
+            # A later, stricter shutdown still propagates the abort;
+            # the threads are already winding down.
+            for worker in self._workers:
+                worker.join()
+            return
+        self._intake.put(_SHUTDOWN)
+        self._dispatcher.join()
+        for inbox in self._worker_queues:
+            inbox.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    # -------------------------------------------------------------- report
+    def report(self) -> ExecutionReport:
+        """The concurrent deployment report over every replica lane."""
+        if self.session is not None:
+            return self.session.report()
+        reports = [
+            replica.report()
+            for replica in self._replicas
+            if hasattr(replica, "report")
+        ]
+        if not reports:
+            raise SessionError(
+                "these replica backends expose no report(); read their "
+                "own accounting directly"
+            )
+        return merge_concurrent_reports(reports)
+
+    def stats(self) -> dict:
+        """Scheduler counters: what was submitted and how it was routed."""
+        with self._lock:
+            return {
+                "requests_submitted": self.requests_submitted,
+                "batches_dispatched": self.batches_dispatched,
+                "rows_dispatched": list(self.rows_dispatched),
+                "outstanding_rows": sum(self._outstanding),
+            }

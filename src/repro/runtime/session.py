@@ -173,6 +173,32 @@ class QuerySession:
         self.per_query_latency_ns = report.per_query_latency_ns
         self.machine.reset_query_state()
 
+    def clone(self, noise_seed=None) -> "QuerySession":
+        """An independent replica of this session: same compiled module,
+        fresh machine.
+
+        Reuses every compiled artifact (lowered module, partition plan,
+        query program, stored parameters) — nothing is re-traced or
+        re-lowered — and only re-runs the setup walk to allocate and
+        program a new machine, which a hardware replica genuinely needs.
+        Device noise on the clone decorrelates from the parent by
+        default (a fresh child of the parent's seed sequence); pass
+        ``noise_seed`` for an explicit stream.
+        """
+        return QuerySession(
+            self.module,
+            self.spec,
+            self.tech,
+            self.parameters,
+            self.program,
+            func_name=self.func_name,
+            noise_sigma=self.noise_sigma,
+            noise_seed=(
+                self._noise_seq.spawn(1)[0] if noise_seed is None
+                else noise_seed
+            ),
+        )
+
     def reset(self) -> None:
         """Clear query-side state (latches, counters); patterns survive."""
         self.machine.reset_query_state()
@@ -295,4 +321,5 @@ class QuerySession:
             searches=machine.total_searches - searches_before,
             search_cycles=cycles,
             queries=n_queries,
+            spec=self.spec,
         )

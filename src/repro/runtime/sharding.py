@@ -299,6 +299,8 @@ class ShardedSession:
         self.shard_set = shard_set
         self.spec = spec
         self.tech = tech
+        self.func_name = func_name
+        self.noise_sigma = float(noise_sigma)
         self._noise_seq = (
             noise_seed
             if isinstance(noise_seed, np.random.SeedSequence)
@@ -375,6 +377,27 @@ class ShardedSession:
         return sum(m.chip_area_mm2() for m in self.machines)
 
     # ------------------------------------------------------------ lifecycle
+    def clone(self, noise_seed=None) -> "ShardedSession":
+        """An independent replica of the whole shard group.
+
+        Reuses the compiled :class:`ShardSet` (per-shard modules, plans
+        and programs) untouched — no recompilation — and programs one
+        fresh machine per shard, exactly what a second hardware copy of
+        the deployment costs.  Noise decorrelates from the parent unless
+        an explicit ``noise_seed`` is given.
+        """
+        return ShardedSession(
+            self.shard_set,
+            self.spec,
+            self.tech,
+            func_name=self.func_name,
+            noise_sigma=self.noise_sigma,
+            noise_seed=(
+                self._noise_seq.spawn(1)[0] if noise_seed is None
+                else noise_seed
+            ),
+        )
+
     def reset(self) -> None:
         """Clear query-side state on every shard; patterns survive."""
         for session in self.sessions:

@@ -376,4 +376,5 @@ class CamMachine:
             subarrays_used=self.subarrays_used,
             searches=self.total_searches,
             search_cycles=max_cycles,
+            spec=self.spec,
         )

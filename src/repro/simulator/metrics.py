@@ -4,11 +4,20 @@ Latency is tracked by the executor's timing model (ns); the machine
 accumulates dynamic energy (pJ) per component and computes standby energy
 from the powered-instance counts when an execution finishes.
 
-Multi-machine (sharded) executions combine per-machine reports with
-:func:`aggregate_reports`: machines work in parallel, so latencies take
-the max over shards (plus an explicit cross-shard merge cost) while
-energy, allocation and work counts sum — N machines burn N machines'
-worth of energy and silicon.
+Multi-machine executions combine per-machine reports two ways:
+
+* :func:`aggregate_reports` — **shards** of one logical store answering
+  the *same* batch in parallel: latencies take the max over shards (plus
+  an explicit cross-shard merge cost) while energy, allocation and work
+  counts sum — N machines burn N machines' worth of energy and silicon.
+* :func:`merge_concurrent_reports` — **replicas** serving *disjoint*
+  traffic concurrently: latency is the longest lane, but ``queries``
+  sum, so ``throughput_qps`` reflects the concurrency replication buys.
+
+Both combiners require every report to come from the same architecture
+(:attr:`ExecutionReport.spec`): summing energies or maxing latencies
+across different machine models is meaningless, so a mismatch raises
+instead of silently producing a chimera report.
 """
 
 from __future__ import annotations
@@ -65,6 +74,10 @@ class ExecutionReport:
     searches: int = 0
     search_cycles: int = 0
     queries: int = 1
+    #: The architecture this report was measured on (``None`` for legacy
+    #: or host-path reports).  The multi-machine combiners refuse to mix
+    #: reports from different specs.
+    spec: Optional[object] = None
 
     @property
     def query_energy_pj(self) -> float:
@@ -133,6 +146,7 @@ class ExecutionReport:
             searches=self.searches * n_queries,
             search_cycles=self.search_cycles,
             queries=self.queries * n_queries,
+            spec=self.spec,
         )
 
     def summary(self) -> str:
@@ -143,6 +157,55 @@ class ExecutionReport:
             f"power={self.power_mw:.3f}mW "
             f"subarrays={self.subarrays_used} banks={self.banks_used}"
         )
+
+
+def _common_spec(reports: Sequence[ExecutionReport], combiner: str):
+    """The single arch spec behind ``reports``; raises on a mix.
+
+    Reports without a recorded spec (legacy / host-path) are permissive:
+    they combine with anything.  Two *different* recorded specs cannot be
+    combined — maxing latencies or summing energies across machine
+    models would silently fabricate a system that does not exist.
+    """
+    spec = None
+    for report in reports:
+        if report.spec is None:
+            continue
+        if spec is None:
+            spec = report.spec
+        elif report.spec != spec:
+            raise ValueError(
+                f"{combiner} cannot combine reports from different "
+                f"architectures: all machines must share one ArchSpec "
+                f"(got {spec!r} and {report.spec!r})"
+            )
+    return spec
+
+
+def _combined_fields(reports: Sequence[ExecutionReport], combiner: str) -> dict:
+    """The multi-machine field combinations both combiners share.
+
+    Machines exist side by side whether they shard or replicate, so
+    energies, allocation and work counts **sum**, ``search_cycles``
+    stays a max (the busiest subarray anywhere) and setup latency is a
+    max (machines program in parallel).  Only the latency/queries policy
+    differs between the combiners.
+    """
+    energy = EnergyBreakdown()
+    for report in reports:
+        for key, value in report.energy.as_dict().items():
+            setattr(energy, key, getattr(energy, key) + value)
+    return dict(
+        setup_latency_ns=max(r.setup_latency_ns for r in reports),
+        energy=energy,
+        banks_used=sum(r.banks_used for r in reports),
+        mats_used=sum(r.mats_used for r in reports),
+        arrays_used=sum(r.arrays_used for r in reports),
+        subarrays_used=sum(r.subarrays_used for r in reports),
+        searches=sum(r.searches for r in reports),
+        search_cycles=max(r.search_cycles for r in reports),
+        spec=_common_spec(reports, combiner),
+    )
 
 
 def aggregate_reports(
@@ -158,27 +221,45 @@ def aggregate_reports(
     latency and host energy) and energies, allocation counts and search
     totals **sum**; ``search_cycles`` stays a max (the busiest subarray
     anywhere).  ``queries`` defaults to the first shard's count (every
-    shard sees the same batch).  Used by
-    :class:`repro.runtime.sharding.ShardedSession` and the sharded
+    shard sees the same batch).  All reports must come from the same
+    :class:`~repro.arch.spec.ArchSpec` (``ValueError`` otherwise).  Used
+    by :class:`repro.runtime.sharding.ShardedSession` and the sharded
     pattern matcher.
     """
     if not reports:
         raise ValueError("aggregate_reports needs at least one shard report")
-    energy = EnergyBreakdown()
-    for report in reports:
-        for key, value in report.energy.as_dict().items():
-            setattr(energy, key, getattr(energy, key) + value)
-    energy.host += merge_energy_pj
+    fields = _combined_fields(reports, "aggregate_reports")
+    fields["energy"].host += merge_energy_pj
     return ExecutionReport(
         query_latency_ns=max(r.query_latency_ns for r in reports)
         + merge_latency_ns,
-        setup_latency_ns=max(r.setup_latency_ns for r in reports),
-        energy=energy,
-        banks_used=sum(r.banks_used for r in reports),
-        mats_used=sum(r.mats_used for r in reports),
-        arrays_used=sum(r.arrays_used for r in reports),
-        subarrays_used=sum(r.subarrays_used for r in reports),
-        searches=sum(r.searches for r in reports),
-        search_cycles=max(r.search_cycles for r in reports),
         queries=queries if queries is not None else reports[0].queries,
+        **fields,
+    )
+
+
+def merge_concurrent_reports(
+    reports: Sequence[ExecutionReport],
+) -> ExecutionReport:
+    """Combine per-replica lane reports of a *replicated* deployment.
+
+    Replicas are independent machines serving **disjoint** slices of the
+    traffic at the same time, so the combined wall time is the longest
+    lane (latency **max**) while ``queries``, energies, allocation and
+    work counts **sum** — ``throughput_qps`` on the result therefore
+    reflects the concurrency replication buys (R balanced replicas
+    approach R× one machine's rate), and energy/area honestly scale with
+    the replica count.  Setup latency is a max: replicas program in
+    parallel.  All reports must come from the same
+    :class:`~repro.arch.spec.ArchSpec` (``ValueError`` otherwise).  Used
+    by :class:`repro.runtime.serving.ReplicatedSession`.
+    """
+    if not reports:
+        raise ValueError(
+            "merge_concurrent_reports needs at least one lane report"
+        )
+    return ExecutionReport(
+        query_latency_ns=max(r.query_latency_ns for r in reports),
+        queries=sum(r.queries for r in reports),
+        **_combined_fields(reports, "merge_concurrent_reports"),
     )

@@ -1,0 +1,179 @@
+"""Randomized differential testing across all four execution paths.
+
+The runtime now serves one similarity kernel four ways:
+
+1. **per-call interpreter** — ``cache_session=False``, a fresh machine
+   and a full IR walk per query (the legacy reference semantics);
+2. **batched query session** — ``QuerySession.run_batch`` on one live
+   machine (PR 1);
+3. **sharded session** — the store split across machines and re-merged
+   (PR 2);
+4. **replicated + async serving** — R cloned copies behind the
+   micro-batching :class:`~repro.runtime.serving.ServingEngine` (this
+   PR), with requests chopped into arbitrary chunks.
+
+Every path promises *bitwise identical* top-k output (noise disabled).
+This suite generates random stores/queries/geometries — plus adversarial
+tie-heavy and all-zero-score inputs, where only the stable lowest-index
+tie-break keeps the paths aligned — and asserts the promise holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import dse_spec, paper_spec
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+
+
+def _dot_model(stored, k):
+    import repro.frontend.torch_api as torch
+
+    class DotSimilarity(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(stored)
+
+        def forward(self, input):
+            others = self.weight.transpose(-2, -1)
+            matmul = torch.matmul(input, others)
+            return torch.ops.aten.topk(matmul, k, largest=True)
+
+    return DotSimilarity()
+
+
+def _random_case(rng):
+    """One random workload: store, queries, k and a machine geometry."""
+    patterns = int(rng.integers(6, 48))
+    features = int(rng.choice([32, 64, 128]))
+    batch = int(rng.integers(1, 10))
+    k = int(rng.integers(1, min(patterns, 5) + 1))
+    spec = dse_spec(int(rng.choice([16, 32])))
+    kind = rng.choice(["gaussian", "bipolar", "ties", "zeros"])
+    if kind == "gaussian":
+        stored = rng.standard_normal((patterns, features))
+        queries = rng.standard_normal((batch, features))
+    elif kind == "bipolar":
+        stored = rng.choice([-1.0, 1.0], (patterns, features))
+        queries = rng.choice([-1.0, 1.0], (batch, features))
+    elif kind == "ties":
+        # A handful of unique rows duplicated many times: nearly every
+        # score ties, so ranking is decided purely by the tie-break.
+        uniques = rng.choice([-1.0, 1.0], (3, features))
+        stored = uniques[rng.integers(0, 3, patterns)]
+        queries = uniques[rng.integers(0, 3, batch)]
+    else:  # zeros: every match-line score is 0 for every stored row
+        stored = rng.choice([-1.0, 1.0], (patterns, features))
+        queries = np.zeros((batch, features))
+    return (
+        stored.astype(np.float32),
+        queries.astype(np.float32),
+        k,
+        spec,
+        kind,
+    )
+
+
+def _four_paths(stored, queries, k, spec, rng):
+    """Run the same workload through all four paths; return the results."""
+    features = stored.shape[1]
+    example = [placeholder((1, features))]
+    compiler = C4CAMCompiler(spec)
+
+    # 1. per-call interpreter (fresh machine + full IR walk per query).
+    percall = compiler.compile(
+        _dot_model(stored, k), example, cache_session=False
+    )
+    values, indices = zip(*(percall(q[None, :]) for q in queries))
+    interpreter = (np.vstack(values), np.vstack(indices))
+
+    # 2. one batched query session.
+    session = compiler.compile(_dot_model(stored, k), example)
+    batched = tuple(session.run_batch(queries))
+
+    # 3. sharded across machines.
+    num_shards = min(int(rng.integers(2, 4)), stored.shape[0])
+    sharded_kernel = compiler.compile(
+        _dot_model(stored, k), example, num_shards=num_shards
+    )
+    sharded = tuple(sharded_kernel.run_batch(queries))
+
+    # 4. replicated + async: random request chunking through the engine.
+    replicated = compiler.compile(
+        _dot_model(stored, k), example, num_replicas=2
+    )
+    with replicated.serve(
+        max_batch=int(rng.integers(1, len(queries) + 2)),
+        max_wait=float(rng.choice([0.0, 0.001])),
+    ) as engine:
+        futures, cursor = [], 0
+        while cursor < len(queries):
+            take = min(int(rng.integers(1, 4)), len(queries) - cursor)
+            futures.append(engine.submit(queries[cursor : cursor + take]))
+            cursor += take
+        parts = [future.result(timeout=30) for future in futures]
+    served = (
+        np.vstack([p[0] for p in parts]),
+        np.vstack([p[1] for p in parts]),
+    )
+    return interpreter, batched, sharded, served
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_workloads_agree_bitwise(seed):
+    rng = np.random.default_rng(987_000 + seed)
+    stored, queries, k, spec, kind = _random_case(rng)
+    interpreter, batched, sharded, served = _four_paths(
+        stored, queries, k, spec, rng
+    )
+    for name, (values, indices) in {
+        "session": batched, "sharded": sharded, "served": served,
+    }.items():
+        np.testing.assert_array_equal(
+            indices, interpreter[1],
+            err_msg=f"{name} indices diverge on {kind!r} case (seed {seed})",
+        )
+        np.testing.assert_array_equal(
+            values, interpreter[0],
+            err_msg=f"{name} values diverge on {kind!r} case (seed {seed})",
+        )
+        assert values.dtype == np.float32 and indices.dtype == np.int64
+
+
+def test_tie_heavy_store_resolves_identically():
+    """Every stored row identical: all scores tie for every query, so
+    agreement is purely the stable lowest-index tie-break on all paths."""
+    rng = np.random.default_rng(5)
+    row = rng.choice([-1.0, 1.0], 64)
+    stored = np.tile(row, (18, 1)).astype(np.float32)
+    queries = np.vstack([row, -row, rng.choice([-1.0, 1.0], 64)]).astype(
+        np.float32
+    )
+    interpreter, batched, sharded, served = _four_paths(
+        stored, queries, 4, dse_spec(16), rng
+    )
+    expected = np.tile(np.arange(4, dtype=np.int64), (3, 1))
+    np.testing.assert_array_equal(interpreter[1], expected)
+    for path in (batched, sharded, served):
+        np.testing.assert_array_equal(path[1], expected)
+        np.testing.assert_array_equal(path[0], interpreter[0])
+
+
+def test_all_zero_scores_resolve_identically():
+    """A zero query gives every stored row the same score (whatever
+    constant the CAM-level metric legalizes it to) — the top-k is then
+    decided purely by the tie-break and must still agree on every path."""
+    rng = np.random.default_rng(6)
+    stored = rng.choice([-1.0, 1.0], (20, 64)).astype(np.float32)
+    queries = np.zeros((4, 64), dtype=np.float32)
+    interpreter, batched, sharded, served = _four_paths(
+        stored, queries, 3, paper_spec(rows=16, cols=32), rng
+    )
+    # All-tie: the winners are the first k row indices and every
+    # returned value is the same constant.
+    np.testing.assert_array_equal(
+        interpreter[1], np.tile(np.arange(3, dtype=np.int64), (4, 1))
+    )
+    assert np.unique(interpreter[0]).size == 1
+    for path in (batched, sharded, served):
+        np.testing.assert_array_equal(path[1], interpreter[1])
+        np.testing.assert_array_equal(path[0], interpreter[0])

@@ -1,0 +1,413 @@
+"""The replicated async serving layer: replicas, engine, concurrency.
+
+Covers :class:`~repro.runtime.serving.ReplicatedSession` (cloning
+without recompiling, least-loaded routing, concurrent lane reports) and
+:class:`~repro.runtime.serving.ServingEngine` (micro-batch coalescing,
+per-request futures, error delivery, clean shutdown) — including a
+multi-producer soak test asserting that no result is ever cross-wired
+between interleaved requests.
+"""
+
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import numpy as np
+import pytest
+
+from repro.arch import dse_spec, paper_spec
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+from repro.runtime.serving import ReplicatedSession, ServingEngine
+from repro.runtime.session import SessionError
+from repro.runtime.sharding import ShardedSession
+from repro.simulator.metrics import ExecutionReport, merge_concurrent_reports
+
+
+def compile_dot(dot_kernel, stored, shape, k=1, **kw):
+    return C4CAMCompiler(kw.pop("spec", paper_spec())).compile(
+        dot_kernel(stored, k=k), [placeholder(shape)], **kw
+    )
+
+
+@pytest.fixture()
+def bipolar_store(rng):
+    """Distinct bipolar rows: query == row i finds top-1 index i."""
+    return rng.choice([-1.0, 1.0], (32, 64)).astype(np.float32)
+
+
+# --------------------------------------------------------------------------
+# ReplicatedSession: cloning, routing, honest concurrent reports
+# --------------------------------------------------------------------------
+class TestReplicatedSession:
+    def test_clone_shares_compiled_artifacts(self, dot_kernel, bipolar_store):
+        kernel = compile_dot(
+            dot_kernel, bipolar_store, (1, 64), spec=dse_spec(16),
+            num_replicas=3,
+        )
+        session = kernel.session()
+        assert isinstance(session, ReplicatedSession)
+        assert session.num_replicas == 3
+        base, *clones = session.replicas
+        for clone in clones:
+            # Same lowered module and query program — nothing recompiled.
+            assert clone.module is base.module
+            assert clone.program is base.program
+            # But an independently programmed machine.
+            assert clone.machine is not base.machine
+            assert clone.machine.energy.write == base.machine.energy.write
+
+    def test_sharded_clone_shares_shard_set(self, dot_kernel, bipolar_store):
+        kernel = compile_dot(
+            dot_kernel, bipolar_store, (1, 64), spec=dse_spec(16),
+            num_shards=2, num_replicas=2,
+        )
+        session = kernel.session()
+        assert isinstance(session, ReplicatedSession)
+        base, clone = session.replicas
+        assert isinstance(base, ShardedSession)
+        assert clone.shard_set is base.shard_set
+        assert len(session.machines) == 4  # 2 replicas x 2 shards
+
+    def test_results_match_unreplicated(self, dot_kernel, bipolar_store, rng):
+        queries = rng.choice([-1.0, 1.0], (7, 64)).astype(np.float32)
+        plain = compile_dot(dot_kernel, bipolar_store, (1, 64), k=3,
+                            spec=dse_spec(16))
+        replicated = compile_dot(dot_kernel, bipolar_store, (1, 64), k=3,
+                                 spec=dse_spec(16), num_replicas=2)
+        pv, pi = plain.run_batch(queries)
+        for _ in range(3):  # every routed replica answers identically
+            rv, ri = replicated.run_batch(queries)
+            np.testing.assert_array_equal(pv, rv)
+            np.testing.assert_array_equal(pi, ri)
+
+    def test_least_loaded_routing_balances(self, dot_kernel, bipolar_store,
+                                           rng):
+        queries = rng.choice([-1.0, 1.0], (4, 64)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16), num_replicas=3)
+        session = kernel.session()
+        for _ in range(6):
+            session.run_batch(queries)
+        lanes = session.lane_reports()
+        assert [lane.queries for lane in lanes] == [8, 8, 8]
+
+    def test_report_scales_with_replicas(self, dot_kernel, bipolar_store,
+                                         rng):
+        queries = rng.choice([-1.0, 1.0], (5, 64)).astype(np.float32)
+        plain = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                            spec=dse_spec(16))
+        plain.run_batch(queries)
+        single = plain.last_report
+
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16), num_replicas=2)
+        session = kernel.session()
+        for _ in range(4):  # 2 batches per lane
+            session.run_batch(queries)
+        report = session.report()
+        # Lanes ran concurrently: wall time is one lane (2 batches), but
+        # all 20 queries count -> throughput reflects the concurrency.
+        assert report.queries == 20
+        assert report.query_latency_ns == pytest.approx(
+            2 * single.query_latency_ns
+        )
+        assert report.throughput_qps == pytest.approx(
+            2 * single.throughput_qps
+        )
+        # Energy and silicon scale with R: 2 machines, 2x write energy.
+        assert report.energy.write == pytest.approx(2 * single.energy.write)
+        assert report.banks_used == 2 * single.banks_used
+        assert session.chip_area_mm2() == pytest.approx(
+            2 * session.replicas[0].machine.chip_area_mm2()
+        )
+        # Setup programs in parallel across replicas.
+        assert report.setup_latency_ns == pytest.approx(
+            single.setup_latency_ns
+        )
+
+    def test_reset_clears_lanes(self, dot_kernel, bipolar_store, rng):
+        queries = rng.choice([-1.0, 1.0], (3, 64)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16), num_replicas=2)
+        session = kernel.session()
+        session.run_batch(queries)
+        session.reset()
+        assert session.report().queries == 0
+        assert session.batches_run == 0
+        # Patterns survive: serving still works without re-programming.
+        writes = [m.energy.write for m in session.machines]
+        session.run_batch(queries)
+        assert [m.energy.write for m in session.machines] == writes
+
+    def test_invalid_replication_rejected(self, dot_kernel, bipolar_store):
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16))
+        with pytest.raises(SessionError, match="replica"):
+            ReplicatedSession(kernel.session(), 0)
+        with pytest.raises(SessionError, match="clone"):
+            ReplicatedSession(object(), 2)
+        with pytest.raises(ValueError, match="num_replicas"):
+            compile_dot(dot_kernel, bipolar_store, (1, 64),
+                        spec=dse_spec(16), num_replicas=0)
+        with pytest.raises(ValueError, match="lower_to_cam"):
+            compile_dot(dot_kernel, bipolar_store, (1, 64),
+                        spec=dse_spec(16), num_replicas=2,
+                        lower_to_cam=False)
+
+
+# --------------------------------------------------------------------------
+# ServingEngine: coalescing, futures, shutdown
+# --------------------------------------------------------------------------
+class TestServingEngine:
+    def test_single_query_futures_match_run_batch(self, dot_kernel,
+                                                  bipolar_store, rng):
+        queries = rng.choice([-1.0, 1.0], (6, 64)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64), k=2,
+                             spec=dse_spec(16), num_replicas=2)
+        direct_v, direct_i = kernel.run_batch(queries)
+        with kernel.serve(max_batch=4, max_wait=0.001) as engine:
+            futures = [engine.submit(q) for q in queries]
+            for row, future in enumerate(futures):
+                values, indices = future.result(timeout=30)
+                assert values.shape == (1, 2) and indices.shape == (1, 2)
+                np.testing.assert_array_equal(values[0], direct_v[row])
+                np.testing.assert_array_equal(indices[0], direct_i[row])
+
+    def test_batch_requests_and_map(self, dot_kernel, bipolar_store, rng):
+        queries = rng.choice([-1.0, 1.0], (9, 64)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64), k=1,
+                             spec=dse_spec(16))
+        direct_v, direct_i = kernel.run_batch(queries)
+        with kernel.serve(max_batch=4) as engine:
+            chunk = engine.submit(queries[:3])         # one 3-row request
+            singles = engine.map(queries[3:])          # six 1-row requests
+            cv, ci = chunk.result(timeout=30)
+            np.testing.assert_array_equal(cv, direct_v[:3])
+            np.testing.assert_array_equal(ci, direct_i[:3])
+            for offset, future in enumerate(singles, start=3):
+                _v, indices = future.result(timeout=30)
+                np.testing.assert_array_equal(indices[0], direct_i[offset])
+
+    def test_micro_batches_respect_max_batch(self, dot_kernel, bipolar_store,
+                                             rng):
+        queries = rng.choice([-1.0, 1.0], (10, 64)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16))
+        engine = kernel.serve(max_batch=4, max_wait=0.05)
+        futures = [engine.submit(q) for q in queries]
+        for future in futures:
+            future.result(timeout=30)
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["requests_submitted"] == 10
+        # 10 single-row requests coalesce into ceil(10/4)..10 batches
+        # (timing-dependent), never fewer than the cap allows.
+        assert 3 <= stats["batches_dispatched"] <= 10
+        assert sum(stats["rows_dispatched"]) == 10
+        assert stats["outstanding_rows"] == 0
+
+    def test_max_wait_flushes_partial_batches(self, dot_kernel,
+                                              bipolar_store):
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16))
+        # max_batch is far larger than the workload: only the max_wait
+        # timer can close the batch.
+        with kernel.serve(max_batch=1024, max_wait=0.01) as engine:
+            future = engine.submit(bipolar_store[5])
+            _values, indices = future.result(timeout=30)
+            assert indices[0, 0] == 5
+
+    def test_mismatched_width_rejected_at_submit(self, dot_kernel,
+                                                 bipolar_store):
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16))
+        with kernel.serve() as engine:
+            with pytest.raises(ValueError, match="width"):
+                engine.submit(np.ones(32))
+            with pytest.raises(ValueError, match="1-D"):
+                engine.submit(np.ones((0, 64)))
+
+    def test_backend_failure_delivered_to_futures(self):
+        class Exploding:
+            def run_batch(self, queries):
+                raise RuntimeError("device on fire")
+
+        with ServingEngine([Exploding()], max_batch=2) as engine:
+            future = engine.submit(np.ones(8))
+            with pytest.raises(RuntimeError, match="on fire"):
+                future.result(timeout=30)
+            # The lane survives a failed batch: later requests still fail
+            # loudly rather than hanging.
+            again = engine.submit(np.ones(8))
+            with pytest.raises(RuntimeError, match="on fire"):
+                again.result(timeout=30)
+
+    def test_unsplittable_result_delivered_not_stranded(self):
+        """A result the splitter cannot slice must fail the batch's
+        futures (with the advice to pass split=), not kill the worker
+        and strand every later future on that lane."""
+        class DictResult:
+            def run_batch(self, queries):
+                return {"values": queries}  # _default_split can't slice
+
+        with ServingEngine([DictResult()], max_batch=2) as engine:
+            first = engine.submit(np.ones(4))
+            with pytest.raises(TypeError, match="split"):
+                first.result(timeout=30)
+            # The lane survived: the next request is served (and fails
+            # the same way), not left pending forever.
+            second = engine.submit(np.ones(4))
+            with pytest.raises(TypeError, match="split"):
+                second.result(timeout=30)
+
+    def test_shutdown_drains_in_flight(self, dot_kernel, bipolar_store, rng):
+        queries = rng.choice([-1.0, 1.0], (20, 64)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16), num_replicas=2)
+        direct_v, direct_i = kernel.run_batch(queries)
+        engine = kernel.serve(max_batch=3, max_wait=0.001)
+        futures = [engine.submit(q) for q in queries]
+        engine.shutdown(wait=True)  # must resolve everything first
+        for row, future in enumerate(futures):
+            assert future.done() and not future.cancelled()
+            _v, indices = future.result(timeout=0)
+            np.testing.assert_array_equal(indices[0], direct_i[row])
+        with pytest.raises(SessionError, match="shut down"):
+            engine.submit(queries[0])
+        engine.shutdown()  # idempotent
+
+    def test_abort_cancels_pending(self, dot_kernel, bipolar_store):
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16))
+        # Pace each micro-batch to a tens-of-ms simulated hold so queued
+        # requests are still pending when the abort lands.
+        engine = kernel.serve(max_batch=1, max_wait=0.0, time_scale=1e-3)
+        futures = [engine.submit(q) for q in bipolar_store[:6]]
+        engine.shutdown(wait=False)
+        outcomes = []
+        for future in futures:
+            try:
+                future.result(timeout=30)
+                outcomes.append("served")
+            except CancelledError:
+                outcomes.append("cancelled")
+        assert "cancelled" in outcomes
+        # Served requests were served correctly, in FIFO prefix order.
+        served = outcomes.count("served")
+        assert outcomes == ["served"] * served + \
+            ["cancelled"] * (6 - served)
+
+
+# --------------------------------------------------------------------------
+# Concurrency soak: interleaved producers, zero cross-wiring
+# --------------------------------------------------------------------------
+class TestConcurrencySoak:
+    N_PRODUCERS = 6
+    PER_PRODUCER = 25
+
+    def test_interleaved_producers_never_cross_wire(self, dot_kernel,
+                                                    bipolar_store):
+        """Each query is a stored row; its future must resolve to that
+        row's index no matter how requests interleave, coalesce, or
+        which replica serves them."""
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16), num_replicas=3)
+        engine = kernel.serve(max_batch=4, max_wait=0.0005)
+        results = [None] * self.N_PRODUCERS
+        start = threading.Barrier(self.N_PRODUCERS)
+
+        def producer(worker: int) -> None:
+            prng = np.random.default_rng(1000 + worker)
+            rows = prng.integers(0, len(bipolar_store), self.PER_PRODUCER)
+            start.wait()
+            handles = []
+            for row in rows:
+                handles.append((row, engine.submit(bipolar_store[row])))
+                if row % 3 == 0:
+                    time.sleep(0)  # encourage interleaving
+            # Resolve in a worker-specific order: future resolution must
+            # not depend on result() call order.
+            if worker % 2:
+                handles = handles[::-1]
+            results[worker] = [
+                (row, future.result(timeout=60)) for row, future in handles
+            ]
+
+        threads = [
+            threading.Thread(target=producer, args=(i,))
+            for i in range(self.N_PRODUCERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "producer deadlocked"
+        engine.shutdown()
+
+        total = 0
+        for produced in results:
+            assert produced is not None
+            for row, (values, indices) in produced:
+                assert indices.shape == (1, 1)
+                assert indices[0, 0] == row, "result cross-wired!"
+                total += 1
+        assert total == self.N_PRODUCERS * self.PER_PRODUCER
+        stats = engine.stats()
+        assert stats["requests_submitted"] == total
+        assert sum(stats["rows_dispatched"]) == total
+        # The deployment report saw every query exactly once.
+        assert engine.report().queries == total
+
+    def test_shutdown_races_with_producers(self, dot_kernel, bipolar_store):
+        """shutdown(wait=True) concurrent with the last submissions:
+        every accepted request resolves, every refused one raises."""
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16), num_replicas=2)
+        engine = kernel.serve(max_batch=2, max_wait=0.0005)
+        accepted, refused = [], []
+
+        def producer() -> None:
+            for row in range(40):
+                try:
+                    accepted.append(
+                        (row % 32, engine.submit(bipolar_store[row % 32]))
+                    )
+                except SessionError:
+                    refused.append(row)
+                time.sleep(0.0002)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.003)
+        engine.shutdown(wait=True)
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert accepted, "shutdown raced ahead of every submission"
+        for row, future in accepted:
+            assert future.done() and not future.cancelled()
+            _v, indices = future.result(timeout=0)
+            assert indices[0, 0] == row
+
+
+# --------------------------------------------------------------------------
+# Concurrent-report merging
+# --------------------------------------------------------------------------
+class TestMergeConcurrentReports:
+    def test_requires_reports(self):
+        with pytest.raises(ValueError):
+            merge_concurrent_reports([])
+
+    def test_latency_maxes_queries_sum(self):
+        a = ExecutionReport(query_latency_ns=100.0, queries=10)
+        b = ExecutionReport(query_latency_ns=60.0, queries=10)
+        merged = merge_concurrent_reports([a, b])
+        assert merged.query_latency_ns == 100.0
+        assert merged.queries == 20
+        assert merged.throughput_qps == pytest.approx(20 / 100e-9)
+
+    def test_mismatched_specs_rejected(self):
+        a = ExecutionReport(queries=1, spec=dse_spec(16))
+        b = ExecutionReport(queries=1, spec=paper_spec(rows=64, cols=64))
+        with pytest.raises(ValueError, match="ArchSpec"):
+            merge_concurrent_reports([a, b])

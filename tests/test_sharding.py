@@ -339,6 +339,68 @@ class TestCapacityError:
         with pytest.raises(CapacityError, match="sharding cannot help"):
             plan_shard_count(4, 128, 1, spec, False)
 
+    def test_boundary_exactly_at_row_capacity(self, dot_kernel, rng):
+        """A store of exactly machine_row_capacity rows is the last one
+        that must compile single-machine; one more row flips both the
+        forced-single error and the auto-shard decision."""
+        capped = replace(dse_spec(16), banks=1)
+        capacity = machine_row_capacity(capped, 1024)
+        assert capacity == 32
+
+        exact = rng.choice([-1.0, 1.0], (capacity, 1024)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, exact, (1, 1024), spec=capped,
+                             num_shards=1)
+        assert kernel.num_shards == 1 and kernel.shard_set is None
+        auto = compile_dot(dot_kernel, exact, (1, 1024), spec=capped)
+        assert auto.num_shards == 1  # no phantom shard at the boundary
+
+        over = rng.choice([-1.0, 1.0], (capacity + 1, 1024)).astype(
+            np.float32
+        )
+        with pytest.raises(CapacityError) as exc_info:
+            compile_dot(dot_kernel, over, (1, 1024), spec=capped,
+                        num_shards=1)
+        assert exc_info.value.required_rows == capacity + 1
+        assert exc_info.value.available_rows == capacity
+        sharded = compile_dot(dot_kernel, over, (1, 1024), spec=capped)
+        assert sharded.num_shards == 2
+        # The one-row overflow still answers identically to an
+        # unbounded machine.
+        queries = rng.choice([-1.0, 1.0], (3, 1024)).astype(np.float32)
+        reference = compile_dot(dot_kernel, over, (1, 1024),
+                                spec=dse_spec(16))
+        rv, ri = reference.run_batch(queries)
+        hv, hi = sharded.run_batch(queries)
+        np.testing.assert_array_equal(ri, hi)
+        np.testing.assert_array_equal(rv, hv)
+
+    def test_density_boundary_on_bank_capped_spec(self, dot_kernel, rng):
+        """Density stacking extends a bank-capped machine's row capacity;
+        the compiled kernel and the CapacityError must both honour the
+        density-aware figure, not the plain one."""
+        capped = replace(dse_spec(16, "density"), banks=1)
+        plain = machine_row_capacity(capped, 4096)
+        dense = machine_row_capacity(capped, 4096, use_density=True)
+        assert plain == 0 and dense > 0
+
+        fits = rng.choice([-1.0, 1.0], (dense, 4096)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, fits, (1, 4096), spec=capped,
+                             num_shards=1)
+        assert kernel.num_shards == 1
+        assert kernel.last_machine is None  # compiled, not yet run
+        _v, idx = kernel.run_batch(fits[:2])
+        np.testing.assert_array_equal(idx[:, 0], [0, 1])
+        assert kernel.last_machine.banks_used <= 1
+
+        over = rng.choice([-1.0, 1.0], (dense + 1, 4096)).astype(np.float32)
+        with pytest.raises(CapacityError) as exc_info:
+            compile_dot(dot_kernel, over, (1, 4096), spec=capped,
+                        num_shards=1)
+        assert exc_info.value.available_rows == dense
+        assert "sharding cannot help" not in str(exc_info.value)
+        auto = compile_dot(dot_kernel, over, (1, 4096), spec=capped)
+        assert auto.num_shards == 2
+
 
 # --------------------------------------------------------------------------
 # Report aggregation: honest multi-machine accounting
@@ -421,6 +483,28 @@ class TestShardReports:
     def test_aggregate_reports_requires_input(self):
         with pytest.raises(ValueError):
             aggregate_reports([])
+
+    def test_aggregate_rejects_mismatched_specs(self, rng):
+        """Reports from two different presets must not silently sum:
+        maxing latencies / adding energies across machine models would
+        fabricate a system that does not exist."""
+        patterns = rng.choice([0.0, 1.0], (8, 64))
+        small = PatternMatcher(patterns, dse_spec(16))
+        big = PatternMatcher(patterns, paper_spec(rows=64, cols=64))
+        small.lookup(patterns[0])
+        big.lookup(patterns[0])
+        with pytest.raises(ValueError, match="ArchSpec"):
+            aggregate_reports([small.report(), big.report()])
+        # Same-preset reports still aggregate (and carry the spec).
+        twin = PatternMatcher(patterns, dse_spec(16))
+        twin.lookup(patterns[0])
+        merged = aggregate_reports([small.report(), twin.report()])
+        assert merged.spec == dse_spec(16)
+        # Legacy reports without a spec stay permissive.
+        from repro.simulator.metrics import ExecutionReport
+
+        merged = aggregate_reports([small.report(), ExecutionReport()])
+        assert merged.spec == dse_spec(16)
 
 
 # --------------------------------------------------------------------------

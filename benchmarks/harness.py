@@ -5,13 +5,10 @@ Every benchmark regenerates one table or figure of the paper's evaluation
 *shapes* (who wins, rough factors, crossovers) are the paper's claims.
 """
 
-import numpy as np
 
-import repro.frontend.torch_api as torch
 from repro.apps import synthetic_mnist, synthetic_pneumonia, train_hdc
 from repro.arch import ArchSpec
 from repro.compiler import C4CAMCompiler
-from repro.frontend import placeholder
 
 #: MNIST test-set size: per-query metrics extrapolate to the full set.
 MNIST_QUERIES = 10_000

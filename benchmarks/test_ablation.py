@@ -20,7 +20,6 @@ import pytest
 from repro.arch import dse_spec
 from repro.arch.technology import FEFET_45NM
 from repro.compiler import C4CAMCompiler
-from repro.frontend import placeholder
 
 from harness import HdcWorkload, print_series
 

@@ -26,6 +26,10 @@ from repro.frontend import placeholder
 
 from harness import print_series
 
+# Wall-clock-sensitive: excluded from the deterministic CI tier
+# (`-m "not benchmark"`); the benchmarks-smoke job runs it with floors.
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
+
 BATCH = 64
 PATTERNS = 16
 DIMS = 1024

@@ -18,7 +18,6 @@ import pytest
 from repro.arch import validation_spec
 from repro.baselines import run_manual_similarity
 from repro.compiler import C4CAMCompiler
-from repro.frontend import placeholder
 
 from harness import print_series
 

@@ -6,7 +6,6 @@ consumption in their CIM system".  We assert the same decade and the
 CAM-share observation.
 """
 
-import numpy as np
 import pytest
 
 from repro.arch import validation_spec

@@ -32,6 +32,10 @@ from repro.frontend import placeholder
 
 from harness import print_series
 
+# Wall-clock-sensitive: excluded from the deterministic CI tier
+# (`-m "not benchmark"`); the benchmarks-smoke job runs it with floors.
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
+
 PATTERNS = 16
 DIMS = 1024
 ROWS_PER_REQUEST = 8     # one client request = one micro-batch

@@ -9,7 +9,6 @@ These are reproduced *exactly* — the counts follow from the partition
 algebra, not from simulator calibration.
 """
 
-import pytest
 
 from repro.arch import dse_spec
 from repro.transforms import subarrays_required

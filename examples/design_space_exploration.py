@@ -15,7 +15,6 @@ configs draw the least power and density needs the fewest subarrays;
 full results land in ``dse_results.csv``.
 """
 
-import numpy as np
 
 from repro.apps import synthetic_mnist, train_hdc
 from repro.arch import dse_spec

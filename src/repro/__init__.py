@@ -7,8 +7,9 @@ Public entry points:
 * :mod:`repro.frontend` -- the mini-torch tracing frontend.
 * :mod:`repro.arch` -- architecture specifications and technology models.
 * :mod:`repro.simulator` -- the CAM functional/energy simulator substrate.
-* :mod:`repro.runtime` -- the interpreter, batched query sessions and
-  sharded multi-machine sessions.
+* :mod:`repro.runtime` -- the interpreter, batched query sessions,
+  sharded multi-machine sessions, the replicated async serving layer
+  and multi-tenant bank placement.
 
 See ``docs/architecture.md`` for the layer-by-layer tour and
 ``docs/execution-model.md`` for the serving semantics.

@@ -1,4 +1,5 @@
-"""Benchmark applications: HDC and KNN, plus synthetic datasets."""
+"""Benchmark applications: HDC and KNN, pattern matching, multi-tenant
+store pools, plus synthetic datasets."""
 
 from .datasets import (
     Dataset,
@@ -10,6 +11,7 @@ from .datasets import (
 from .hdc import HDCEncoder, HDCModel, train_hdc
 from .knn import KNNModel, build_knn
 from .matching import MatchResult, PatternMatcher, ShardedPatternMatcher
+from .pool import TenantPool
 
 __all__ = [
     "Dataset",
@@ -19,6 +21,7 @@ __all__ = [
     "MatchResult",
     "PatternMatcher",
     "ShardedPatternMatcher",
+    "TenantPool",
     "build_knn",
     "pad_features",
     "pad_rows",

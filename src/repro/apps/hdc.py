@@ -21,7 +21,6 @@ change to :meth:`HDCModel.classify_cam`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

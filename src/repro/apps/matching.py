@@ -26,7 +26,7 @@ submit queries, receive futures of :class:`MatchResult` lists.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -25,7 +25,7 @@ banks whose native dot-product search handles real-valued embeddings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -19,7 +19,7 @@ All latencies are nanoseconds, all energies picojoules.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .spec import ArchSpec
 

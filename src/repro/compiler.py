@@ -77,6 +77,13 @@ from repro.ir.printer import print_module
 from repro.ir.value import BlockArgument
 from repro.passes.pass_manager import PassManager
 from repro.runtime.executor import Interpreter
+from repro.runtime.placement import (
+    MultiTenantSession,
+    PlacementPlan,
+    TenantProgram,
+    plan_placement,
+    tenant_demand,
+)
 from repro.runtime.serving import ReplicatedSession, ServingEngine
 from repro.runtime.session import QueryProgram, QuerySession, SessionError
 from repro.runtime.sharding import (
@@ -95,6 +102,7 @@ from repro.transforms import (
     SimilarityMatchingPass,
     TorchToCimPass,
     check_plan_capacity,
+    compute_partition_plan,
     plan_of,
     resolve_optimization,
 )
@@ -416,6 +424,134 @@ class CompiledKernel:
         return print_module(self.module)
 
 
+class MultiTenantKernel:
+    """K compiled kernels co-resident on one shared machine fleet.
+
+    Built by :meth:`C4CAMCompiler.compile_many`: each tenant is an
+    independently compiled similarity kernel; the placement
+    (:class:`~repro.runtime.placement.PlacementPlan`, computed at
+    compile time) packs their bank demands onto shared machines with
+    first-fit-decreasing.  The first execution opens a cached
+    :class:`~repro.runtime.placement.MultiTenantSession` that programs
+    every tenant once; ``run_batch(tenant_id, Q)`` then serves any
+    tenant with results bitwise identical to that tenant compiled and
+    served alone.  ``num_replicas > 1`` replicates the *whole fleet*
+    for throughput, and :meth:`serve` opens the async micro-batching
+    engine with tenant-aware ``submit(queries, tenant=...)``.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantProgram],
+        spec: ArchSpec,
+        tech: TechnologyModel,
+        placement: PlacementPlan,
+        noise_sigma: float = 0.0,
+        noise_seed: int = 0,
+        max_machines: Optional[int] = None,
+        num_replicas: int = 1,
+    ):
+        self.tenants = list(tenants)
+        self.spec = spec
+        self.tech = tech
+        self.placement = placement
+        self.noise_sigma = noise_sigma
+        self.noise_seed = noise_seed
+        self.max_machines = max_machines
+        self.num_replicas = num_replicas
+        self.last_report: Optional[ExecutionReport] = None
+        self._session = None
+        self._noise_seq = np.random.SeedSequence(noise_seed)
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        return [tenant.tenant_id for tenant in self.tenants]
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenants)
+
+    @property
+    def num_machines(self) -> int:
+        """Fleet machines per replica (from the placement plan)."""
+        return self.placement.num_machines
+
+    def session(self):
+        """The cached multi-tenant session (replicated when asked),
+        opened — all tenants placed and programmed — lazily."""
+        if self._session is None:
+            base = MultiTenantSession(
+                self.tenants,
+                self.spec,
+                self.tech,
+                max_machines=self.max_machines,
+                placement=self.placement,
+                noise_sigma=self.noise_sigma,
+                noise_seed=self._noise_seq.spawn(1)[0],
+            )
+            if self.num_replicas > 1:
+                base = ReplicatedSession(base, self.num_replicas)
+            self._session = base
+        return self._session
+
+    def reset(self) -> None:
+        """Evict and re-place: the next call re-programs fresh machines
+        (and restarts the noise sequence)."""
+        self._session = None
+        self.last_report = None
+        self._noise_seq = np.random.SeedSequence(self.noise_seed)
+
+    def run_batch(
+        self, tenant_id: str, queries: np.ndarray
+    ) -> List[np.ndarray]:
+        """Serve a ``B×D`` batch for ``tenant_id`` on the shared fleet.
+
+        Bitwise identical (noise disabled) to the tenant compiled alone
+        via :meth:`C4CAMCompiler.compile` and run on a private machine.
+        """
+        session = self.session()
+        if isinstance(session, ReplicatedSession):
+            outputs = session.run_batch(queries, tenant=tenant_id)
+        else:
+            outputs = session.run_batch(tenant_id, queries)
+        self.last_report = session.last_report
+        return outputs
+
+    def report(self, tenant_id: Optional[str] = None) -> ExecutionReport:
+        """Accumulated accounting: one tenant's lane, or the fleet.
+
+        Per-tenant reports charge only that tenant's banks (dynamic
+        energy by attribution, standby scoped to its slice); the fleet
+        report counts the shared fabric once and sums the tenants —
+        tenant energies add up exactly to the fleet energy.
+        """
+        session = self.session()
+        if tenant_id is not None:
+            return session.tenant_report(tenant_id)
+        return session.report()
+
+    def serve(
+        self,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        time_scale: float = 0.0,
+    ) -> ServingEngine:
+        """The async front door over the multi-tenant fleet.
+
+        ``submit(queries, tenant=...)`` names the kernel each request
+        belongs to; the dispatcher coalesces only same-tenant requests
+        into micro-batches, so one engine multiplexes every colocated
+        kernel.  Futures resolve bitwise identically to
+        :meth:`run_batch` on the same rows.
+        """
+        return ServingEngine(
+            self.session(),
+            max_batch=max_batch,
+            max_wait=max_wait,
+            time_scale=time_scale,
+        )
+
+
 class C4CAMCompiler:
     """The user-facing compiler: trace, lower, and execute on a CAM."""
 
@@ -562,6 +698,107 @@ class C4CAMCompiler:
                 "indices) directly (and cache_session must stay enabled)"
             )
         return kernel
+
+    def compile_many(
+        self,
+        models: Sequence[Callable],
+        example_inputs: Sequence[Sequence[Tensor]],
+        tenant_ids: Optional[Sequence[str]] = None,
+        noise_sigma: float = 0.0,
+        noise_seed: int = 0,
+        max_machines: Optional[int] = None,
+        num_replicas: int = 1,
+    ) -> MultiTenantKernel:
+        """Compile several kernels for co-residency on one machine fleet.
+
+        Each model is lowered independently (same pipeline as
+        :meth:`compile`) and must be exactly one similarity kernel
+        returning its ``(values, indices)`` directly — the same
+        structural contract sharding and replication demand, since every
+        tenant is served through the shared-machine session path.  The
+        tenants' bank demands are then packed onto shared machines by
+        :func:`~repro.runtime.placement.plan_placement`
+        (first-fit-decreasing; ``max_machines=None`` grows the fleet on
+        demand) — over-packing raises
+        :class:`~repro.runtime.placement.PlacementError` (a
+        :class:`~repro.transforms.partitioning.CapacityError`) at
+        *compile time*, naming the tenant and its bank demand.
+
+        ``num_replicas`` replicates the whole multi-tenant fleet for
+        throughput; combine with :meth:`MultiTenantKernel.serve` for
+        tenant-aware async serving.
+        """
+        if len(models) != len(example_inputs):
+            raise ValueError(
+                f"{len(models)} models but {len(example_inputs)} example "
+                f"input sets"
+            )
+        if not models:
+            raise ValueError("compile_many needs at least one model")
+        if tenant_ids is None:
+            tenant_ids = [f"tenant{i}" for i in range(len(models))]
+        elif len(tenant_ids) != len(models):
+            raise ValueError(
+                f"{len(models)} models but {len(tenant_ids)} tenant ids"
+            )
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        config = resolve_optimization(self.spec)
+        # Stage 1: lower every tenant to the cim level and collect its
+        # placement demand, so over-packing fails before any cam-level
+        # work (and with the tenant named, not a bare kernel overflow).
+        staged = []
+        for tenant_id, fn, example in zip(tenant_ids, models, example_inputs):
+            module, params = self.import_torchscript(fn, example)
+            build_pipeline(self.spec, lower_to_cam=False).run(module)
+            info = _find_shardable_similarity(module, params)
+            if info is None:
+                raise SessionError(
+                    f"tenant {tenant_id!r} is not placeable: multi-tenant "
+                    "kernels must be exactly one similarity kernel "
+                    "returning its (values, indices) directly"
+                )
+            plan = compute_partition_plan(
+                info["patterns"],
+                info["features"],
+                info["queries"],
+                self.spec,
+                config.use_density,
+            )
+            staged.append((tenant_id, module, params, plan))
+        placement = plan_placement(
+            [tenant_demand(tid, plan, self.spec) for tid, _, _, plan in staged],
+            self.spec,
+            max_machines,
+        )
+        # Stage 2: lower each placeable tenant to cam.
+        tenants = []
+        for tenant_id, module, params, _plan in staged:
+            cam = CimToCamPass(self.spec, config)
+            PassManager([cam]).run(module)
+            if len(cam.programs) != 1:
+                raise SessionError(
+                    f"tenant {tenant_id!r} lowered to {len(cam.programs)} "
+                    "similarity programs; expected exactly one"
+                )
+            tenants.append(
+                TenantProgram(
+                    tenant_id=tenant_id,
+                    module=module,
+                    parameters=list(params),
+                    program=cam.programs[0],
+                )
+            )
+        return MultiTenantKernel(
+            tenants,
+            self.spec,
+            self.tech,
+            placement,
+            noise_sigma=noise_sigma,
+            noise_seed=noise_seed,
+            max_machines=max_machines,
+            num_replicas=num_replicas,
+        )
 
     def reference(
         self, fn: Callable, example_inputs: Sequence[Tensor]

@@ -7,7 +7,7 @@ norm lowering does not need a separate dialect.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Union
 
 from repro.ir.attributes import FloatAttr, IntegerAttr, StringAttr
 from repro.ir.operation import Operation, register_op

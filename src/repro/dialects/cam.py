@@ -18,7 +18,6 @@ distance), ``dot`` (multi-bit dot-product similarity à la iMARS).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 from repro.ir.attributes import BoolAttr, FloatAttr, IntegerAttr, StringAttr
 from repro.ir.operation import Operation, register_op

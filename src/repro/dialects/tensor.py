@@ -10,7 +10,7 @@ from typing import Sequence
 
 from repro.ir.attributes import ArrayAttr, IntegerAttr
 from repro.ir.operation import Operation, register_op
-from repro.ir.types import TensorType, Type
+from repro.ir.types import TensorType
 from repro.ir.value import Value
 
 

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.ir.attributes import BoolAttr, IntegerAttr, StringAttr
+from repro.ir.attributes import BoolAttr, IntegerAttr
 from repro.ir.operation import Operation, register_op
-from repro.ir.types import TensorType, Type, f32, i1, i64
+from repro.ir.types import TensorType, Type, i1, i64
 from repro.ir.value import Value
 
 

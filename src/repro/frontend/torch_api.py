@@ -22,7 +22,7 @@ primitives the paper adds to the MLIR PyTorch front end (§III-C).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

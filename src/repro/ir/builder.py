@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Optional, Sequence
+from typing import Optional
 
 from .block import Block
 from .operation import Operation

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from .block import Block, Region
+from .block import Block
 from .operation import Operation, register_op
 
 

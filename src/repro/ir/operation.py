@@ -16,7 +16,7 @@ The design intentionally mirrors MLIR:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Type as PyType
+from typing import Dict, List, Optional, Sequence, Type as PyType
 
 from .attributes import Attribute, as_attribute
 from .types import Type

@@ -11,7 +11,7 @@ isomorphic module.  The grammar is the generic MLIR operation form::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from .attributes import parse_attribute
 from .block import Block, Region

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .attributes import Attribute
 from .block import Block, Region
 from .operation import Operation
 from .value import BlockArgument, Value

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Type as PyType
+from typing import Iterator, Optional, Type as PyType
 
 from .operation import Operation
 

@@ -16,7 +16,7 @@ The set of types mirrors what the C4CAM lowering pipeline needs:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 class Type:

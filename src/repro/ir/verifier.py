@@ -15,7 +15,7 @@ from typing import Set
 
 from .block import Block
 from .operation import Operation
-from .value import BlockArgument, OpResult, Value
+from .value import Value
 
 
 class VerificationError(ValueError):

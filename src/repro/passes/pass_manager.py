@@ -8,7 +8,7 @@ runs a pipeline of passes, optionally verifying the IR between passes
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation

@@ -1,8 +1,18 @@
 """Runtime: the IR interpreter, batched query sessions, sharded
-multi-machine sessions, the replicated async serving layer and host
-reference semantics."""
+multi-machine sessions, the replicated async serving layer, multi-tenant
+bank placement and host reference semantics."""
 
 from .executor import ExecutionError, Interpreter
+from .placement import (
+    MultiTenantSession,
+    PlacementError,
+    PlacementPlan,
+    TenantAssignment,
+    TenantDemand,
+    TenantProgram,
+    plan_placement,
+    tenant_demand,
+)
 from .serving import ReplicatedSession, ServingEngine
 from .session import QueryProgram, QuerySession, SessionError
 from .sharding import (
@@ -19,6 +29,9 @@ from . import values
 __all__ = [
     "ExecutionError",
     "Interpreter",
+    "MultiTenantSession",
+    "PlacementError",
+    "PlacementPlan",
     "QueryProgram",
     "QuerySession",
     "ReplicatedSession",
@@ -27,9 +40,14 @@ __all__ = [
     "Shard",
     "ShardedSession",
     "ShardSet",
+    "TenantAssignment",
+    "TenantDemand",
+    "TenantProgram",
     "aggregate_reports",
     "build_shard_set",
     "plan_shard_count",
+    "plan_placement",
     "shard_sizes",
+    "tenant_demand",
     "values",
 ]

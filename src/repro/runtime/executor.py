@@ -64,9 +64,20 @@ class _Env:
 class Interpreter:
     """Executes one module; create one per execution."""
 
-    def __init__(self, module: ModuleOp, machine: Optional[CamMachine] = None):
+    def __init__(
+        self,
+        module: ModuleOp,
+        machine: Optional[CamMachine] = None,
+        subarray_base: int = 0,
+    ):
         self.module = module
         self.machine = machine
+        #: Linear-index origin of this module's subarrays on the machine.
+        #: A module compiled standalone addresses subarrays 0..N-1 through
+        #: ``cam.subarray_ref``; when several modules share one machine
+        #: (multi-tenant placement), each walk resolves its references
+        #: relative to the subarrays it allocated itself.
+        self.subarray_base = int(subarray_base)
         self.setup_time = 0.0
         # Queries answered: each cam.query_start opens a segment that
         # counts 1 query, widened to B when a batched (B×C) search
@@ -414,7 +425,7 @@ def _cam_alloc_subarray(ip, op, env, t):
 @_op("cam.subarray_ref")
 def _cam_subarray_ref(ip, op, env, t):
     machine = ip._require_machine(op)
-    lin = int(env.get(op.operands[0]))
+    lin = ip.subarray_base + int(env.get(op.operands[0]))
     if lin >= machine.subarrays_used:
         raise ExecutionError(
             f"cam.subarray_ref {lin} exceeds allocated "

@@ -1,0 +1,53 @@
+"""Aggregate machine view over a group of :class:`CamMachine`\\ s.
+
+Sharded, replicated and multi-tenant sessions all present the same
+duck-typed read-only machine interface spanning several physical
+machines, so the analysis helpers
+(:func:`repro.simulator.analysis.utilization`, ``format_report``) work
+on a whole deployment exactly as on one machine.  The host class only
+has to provide ``machines`` (the flat list of physical machines) and a
+``_group_noun`` for diagnostics.
+"""
+
+from __future__ import annotations
+
+
+class MachineGroupView:
+    """Read-only counters and area spanning ``self.machines``."""
+
+    #: What to call the group in diagnostics ("shard set", "fleet", ...).
+    _group_noun = "machine group"
+
+    @property
+    def machine(self):
+        """The aggregate machine view (``self``), duck-typed for the
+        analysis helpers — counters and area span every machine."""
+        return self
+
+    @property
+    def banks_used(self) -> int:
+        return sum(m.banks_used for m in self.machines)
+
+    @property
+    def mats_used(self) -> int:
+        return sum(m.mats_used for m in self.machines)
+
+    @property
+    def arrays_used(self) -> int:
+        return sum(m.arrays_used for m in self.machines)
+
+    @property
+    def subarrays_used(self) -> int:
+        return sum(m.subarrays_used for m in self.machines)
+
+    def subarray(self, linear: int):
+        """Subarray state by global linear index across the machines."""
+        for machine in self.machines:
+            if linear < machine.subarrays_used:
+                return machine.subarray(linear)
+            linear -= machine.subarrays_used
+        raise KeyError(f"no subarray {linear} in the {self._group_noun}")
+
+    def chip_area_mm2(self) -> float:
+        """Total silicon across all machines (areas add)."""
+        return sum(m.chip_area_mm2() for m in self.machines)

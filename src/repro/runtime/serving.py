@@ -49,7 +49,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -59,9 +59,10 @@ from repro.simulator.metrics import (
     merge_concurrent_reports,
 )
 
+from .machineview import MachineGroupView
 from .session import SessionError
 
-__all__ = ["ReplicatedSession", "ServingEngine"]
+__all__ = ["LaneStats", "ReplicatedSession", "ServingEngine"]
 
 
 # ----------------------------------------------------------------- lanes
@@ -72,6 +73,9 @@ def _setup_report(replica) -> ExecutionReport:
     serves a batch burned its pattern-programming energy and occupies
     its machines.
     """
+    custom = getattr(replica, "setup_report", None)
+    if custom is not None:  # MultiTenantSession knows its own baseline
+        return custom()
     sessions = getattr(replica, "sessions", None)
     if sessions is not None:  # ShardedSession: one machine per shard
         write = sum(s.setup_energy_pj for s in sessions)
@@ -80,7 +84,10 @@ def _setup_report(replica) -> ExecutionReport:
     else:
         write = replica.setup_energy_pj
         setup = replica.setup_latency_ns
-        view = replica.machine
+        # The session's own (tenant-scoped) allocation counts: equal to
+        # the machine totals for a private machine, and exactly the
+        # session's banks when it is colocated on a shared one.
+        view = replica
     return ExecutionReport(
         setup_latency_ns=setup,
         energy=EnergyBreakdown(write=write),
@@ -93,8 +100,15 @@ def _setup_report(replica) -> ExecutionReport:
     )
 
 
-class _LaneStats:
-    """Serialized totals of one replica's traffic (its "lane")."""
+class LaneStats:
+    """Serialized totals of one backend's traffic (its "lane").
+
+    The accumulation shape shared by replica lanes (one per copy in a
+    :class:`ReplicatedSession`) and tenant lanes (one per tenant in a
+    :class:`~repro.runtime.placement.MultiTenantSession`): query work
+    folds in per batch, the one-time setup baseline is charged once via
+    :func:`_setup_report` — tenant-scoped for a colocated session.
+    """
 
     def __init__(self, replica):
         self.base = _setup_report(replica)
@@ -137,7 +151,7 @@ class _LaneStats:
 
 
 # ----------------------------------------------------------- replication
-class ReplicatedSession:
+class ReplicatedSession(MachineGroupView):
     """R independently programmed copies of one store, for throughput.
 
     Wraps a compiled :class:`~repro.runtime.session.QuerySession` or
@@ -175,11 +189,15 @@ class ReplicatedSession:
         self.spec = base.spec
         self.tech = base.tech
         self._lock = threading.Lock()
-        self._lanes = [_LaneStats(replica) for replica in self.replicas]
+        self._lanes = [LaneStats(replica) for replica in self.replicas]
         self.last_report: Optional[ExecutionReport] = None
         self.batches_run = 0
 
     # ------------------------------------------------------------ topology
+    #: Aggregate machine view (:class:`MachineGroupView`): counters and
+    #: silicon span every replica — R copies really occupy R machines.
+    _group_noun = "replica set"
+
     @property
     def num_replicas(self) -> int:
         return len(self.replicas)
@@ -196,61 +214,34 @@ class ReplicatedSession:
                 out.append(replica.machine)
         return out
 
-    @property
-    def machine(self):
-        """The aggregate machine view (``self``), duck-typed for the
-        analysis helpers — counters and area span every replica."""
-        return self
-
-    # ----------------------------------------------- aggregate machine view
-    @property
-    def banks_used(self) -> int:
-        return sum(m.banks_used for m in self.machines)
-
-    @property
-    def mats_used(self) -> int:
-        return sum(m.mats_used for m in self.machines)
-
-    @property
-    def arrays_used(self) -> int:
-        return sum(m.arrays_used for m in self.machines)
-
-    @property
-    def subarrays_used(self) -> int:
-        return sum(m.subarrays_used for m in self.machines)
-
-    def subarray(self, linear: int):
-        """Subarray state by global linear index across replica machines."""
-        for machine in self.machines:
-            if linear < machine.subarrays_used:
-                return machine.subarray(linear)
-            linear -= machine.subarrays_used
-        raise KeyError(f"no subarray {linear} in the replica set")
-
-    def chip_area_mm2(self) -> float:
-        """Total silicon: R replicas really occupy R machines' worth."""
-        return sum(m.chip_area_mm2() for m in self.machines)
-
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
         """Clear query-side state on every replica; patterns survive."""
         for replica in self.replicas:
             replica.reset()
         with self._lock:
-            self._lanes = [_LaneStats(r) for r in self.replicas]
+            self._lanes = [LaneStats(r) for r in self.replicas]
             self.last_report = None
             self.batches_run = 0
 
     # ------------------------------------------------------------- queries
-    def run_on(self, index: int, queries: np.ndarray) -> List[np.ndarray]:
+    def run_on(
+        self, index: int, queries: np.ndarray, tenant: Optional[str] = None
+    ) -> List[np.ndarray]:
         """Serve one batch on replica ``index``; records its lane.
 
         Concurrent calls are safe for *distinct* indices (the engine
         runs one worker per replica); a single replica must serve its
-        batches serially, like the hardware it models.
+        batches serially, like the hardware it models.  ``tenant``
+        routes the batch to that tenant's store when the replicas are
+        multi-tenant fleets
+        (:class:`~repro.runtime.placement.MultiTenantSession`).
         """
         replica = self.replicas[index]
-        outputs = replica.run_batch(queries)
+        if tenant is None:
+            outputs = replica.run_batch(queries)
+        else:
+            outputs = replica.run_batch(tenant, queries)
         report = replica.last_report
         with self._lock:
             self._lanes[index].add(report)
@@ -258,7 +249,9 @@ class ReplicatedSession:
             self.batches_run += 1
         return outputs
 
-    def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+    def run_batch(
+        self, queries: np.ndarray, tenant: Optional[str] = None
+    ) -> List[np.ndarray]:
         """Serve one batch on the least-loaded replica (synchronous).
 
         Load is the lane's accumulated simulated busy time, so a stream
@@ -272,7 +265,7 @@ class ReplicatedSession:
                 range(len(self.replicas)),
                 key=lambda i: (self._lanes[i].latency_ns, i),
             )
-        return self.run_on(index, queries)
+        return self.run_on(index, queries, tenant=tenant)
 
     # -------------------------------------------------------------- report
     def lane_reports(self) -> List[ExecutionReport]:
@@ -284,17 +277,30 @@ class ReplicatedSession:
         """The concurrent deployment report across all replica lanes."""
         return merge_concurrent_reports(self.lane_reports())
 
+    def tenant_report(self, tenant_id: str) -> ExecutionReport:
+        """One tenant's view across every replica of a multi-tenant
+        deployment: the tenant's traffic split over R fleets serves
+        concurrently, so its lanes merge like replica lanes."""
+        if not hasattr(self.replicas[0], "tenant_report"):
+            raise SessionError(
+                "the replicas are not multi-tenant sessions; use report()"
+            )
+        return merge_concurrent_reports(
+            [replica.tenant_report(tenant_id) for replica in self.replicas]
+        )
+
 
 # -------------------------------------------------------------- the engine
 class _Request:
-    """One queued client request: its rows and the future to resolve."""
+    """One queued client request: its rows, tenant and future."""
 
-    __slots__ = ("queries", "rows", "future")
+    __slots__ = ("queries", "rows", "future", "tenant")
 
-    def __init__(self, queries: np.ndarray):
+    def __init__(self, queries: np.ndarray, tenant: Optional[str] = None):
         self.queries = queries
         self.rows = queries.shape[0]
         self.future: Future = Future()
+        self.tenant = tenant
 
 
 _SHUTDOWN = object()
@@ -308,7 +314,14 @@ def _feature_width(replica) -> Optional[int]:
     shard_set = getattr(replica, "shard_set", None)
     if shard_set is not None:
         return shard_set.features
-    return getattr(replica, "features", None)
+    features = getattr(replica, "features", None)
+    return features if isinstance(features, int) else None
+
+
+def _tenant_widths(replica) -> Optional[dict]:
+    """Per-tenant query widths of a multi-tenant backend, else None."""
+    features = getattr(replica, "tenant_features", None)
+    return dict(features) if isinstance(features, dict) else None
 
 
 def _default_split(result, lo: int, hi: int):
@@ -385,8 +398,13 @@ class ServingEngine:
         self._split = split or _default_split
         # Feature width every request must share (requests coalesce).
         # Seeded from the backend when it knows; otherwise the first
-        # request pins it.
-        self._features: Optional[int] = _feature_width(self._replicas[0])
+        # request pins it.  Multi-tenant backends instead carry one
+        # width per tenant, and every submit must name its tenant.
+        self._tenants: Optional[dict] = _tenant_widths(self._replicas[0])
+        self._features: Optional[int] = (
+            None if self._tenants is not None
+            else _feature_width(self._replicas[0])
+        )
 
         self._intake: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
@@ -421,7 +439,9 @@ class ServingEngine:
     def num_replicas(self) -> int:
         return len(self._replicas)
 
-    def submit(self, queries: np.ndarray) -> Future:
+    def submit(
+        self, queries: np.ndarray, tenant: Optional[str] = None
+    ) -> Future:
         """Enqueue one request (a single ``D`` query or a small ``B×D``
         batch); returns its future immediately.
 
@@ -431,22 +451,52 @@ class ServingEngine:
         ``run_batch`` on exactly these rows returns.  It raises the
         serving error if the backend failed, and is cancelled if the
         engine shuts down with ``wait=False`` before serving it.
+
+        Over a multi-tenant fleet every request names its ``tenant``;
+        the dispatcher only coalesces requests of the same tenant into a
+        micro-batch, so one serving fleet multiplexes all the colocated
+        kernels without ever mixing their queries.
         """
         batch = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if batch.ndim != 2 or batch.shape[0] == 0:
             raise ValueError(
                 "submit() takes one 1-D query or a non-empty 2-D batch"
             )
-        request = _Request(batch)
+        request = _Request(batch, tenant=tenant)
         with self._lock:
             if self._closed:
                 raise SessionError(
                     "the serving engine is shut down; no new requests"
                 )
-            # All requests must share one feature width — they coalesce
-            # into micro-batches; reject misfits here, at the caller,
-            # instead of poisoning a whole micro-batch later.
-            if self._features is None:
+            if self._tenants is not None:
+                # Multi-tenant backend: the tenant picks the store (and
+                # its feature width).
+                if tenant is None:
+                    raise SessionError(
+                        "this engine serves a multi-tenant fleet; pass "
+                        "submit(queries, tenant=...) with one of "
+                        f"{sorted(self._tenants)}"
+                    )
+                if tenant not in self._tenants:
+                    raise SessionError(
+                        f"no tenant {tenant!r} on this fleet; tenants: "
+                        f"{sorted(self._tenants)}"
+                    )
+                if batch.shape[1] != self._tenants[tenant]:
+                    raise ValueError(
+                        f"query width {batch.shape[1]} does not match "
+                        f"tenant {tenant!r}'s feature dimension "
+                        f"{self._tenants[tenant]}"
+                    )
+            elif tenant is not None:
+                raise SessionError(
+                    "this engine's backend is single-tenant; submit "
+                    "without a tenant id"
+                )
+            # All coalescable requests must share one feature width —
+            # reject misfits here, at the caller, instead of poisoning a
+            # whole micro-batch later.
+            elif self._features is None:
                 self._features = batch.shape[1]
             elif batch.shape[1] != self._features:
                 raise ValueError(
@@ -457,10 +507,12 @@ class ServingEngine:
             self._intake.put(request)
         return request.future
 
-    def map(self, queries: np.ndarray) -> List[Future]:
+    def map(
+        self, queries: np.ndarray, tenant: Optional[str] = None
+    ) -> List[Future]:
         """Submit every row of ``queries`` as its own request."""
         batch = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        return [self.submit(row) for row in batch]
+        return [self.submit(row, tenant=tenant) for row in batch]
 
     # ---------------------------------------------------------- dispatcher
     def _dispatch_loop(self) -> None:
@@ -485,6 +537,11 @@ class ServingEngine:
                 if nxt is _SHUTDOWN:
                     stop = True
                     break
+                if nxt.tenant != first.tenant:
+                    # Never mix tenants in one micro-batch: the next
+                    # request seeds its own batch instead.
+                    holdover = nxt
+                    break
                 if rows + nxt.rows > self.max_batch:
                     holdover = nxt  # seeds the next micro-batch
                     break
@@ -507,13 +564,18 @@ class ServingEngine:
             queries = batch[0].queries
         else:
             queries = np.concatenate([r.queries for r in batch], axis=0)
-        self._worker_queues[index].put((batch, queries, time.perf_counter()))
+        self._worker_queues[index].put(
+            (batch, queries, batch[0].tenant, time.perf_counter())
+        )
 
     # ------------------------------------------------------------- workers
-    def _run(self, index: int, queries: np.ndarray):
+    def _run(self, index: int, queries: np.ndarray, tenant: Optional[str]):
         if self.session is not None:
-            return self.session.run_on(index, queries)
-        return self._replicas[index].run_batch(queries)
+            return self.session.run_on(index, queries, tenant=tenant)
+        replica = self._replicas[index]
+        if tenant is not None:
+            return replica.run_batch(tenant, queries)
+        return replica.run_batch(queries)
 
     def _pace(self, index: int, dispatched: float) -> None:
         """Book the replica's simulated batch latency on the wall clock.
@@ -544,7 +606,7 @@ class ServingEngine:
             item = inbox.get()
             if item is _SHUTDOWN:
                 break
-            batch, queries, dispatched = item
+            batch, queries, tenant, dispatched = item
             try:
                 if self._abort:
                     for request in batch:
@@ -554,7 +616,7 @@ class ServingEngine:
                 # the result — is delivered to the batch's futures; the
                 # lane itself must survive to serve later batches.
                 try:
-                    result = self._run(index, queries)
+                    result = self._run(index, queries, tenant)
                     self._pace(index, dispatched)
                     offset = 0
                     for request in batch:

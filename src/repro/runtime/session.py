@@ -35,7 +35,7 @@ from repro.simulator.machine import CamMachine
 from repro.simulator.metrics import EnergyBreakdown, ExecutionReport
 from repro.transforms.partitioning import PartitionPlan
 
-from .executor import ExecutionError, Interpreter
+from .executor import Interpreter
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,15 @@ class QuerySession:
     fresh child seed per call from one :class:`numpy.random.SeedSequence`
     — reproducible for an explicit ``noise_seed``, independent across
     calls.
+
+    Passing an existing ``machine`` instead colocates this session on a
+    *shared* machine (multi-tenant bank placement,
+    :mod:`repro.runtime.placement`): the session programs its patterns
+    into freshly allocated banks of that machine, remembers its subarray
+    range (:attr:`subarray_base`) and from then on searches/reads only
+    its own fabric.  Reports stay tenant-scoped — allocation counts,
+    energy and standby cover this session's banks only, so a colocated
+    tenant is charged exactly what it would be on a private machine.
     """
 
     def __init__(
@@ -109,6 +118,7 @@ class QuerySession:
         func_name: str = "forward",
         noise_sigma: float = 0.0,
         noise_seed: int = 0,
+        machine: Optional[CamMachine] = None,
     ):
         self.module = module
         self.spec = spec
@@ -124,10 +134,16 @@ class QuerySession:
             if isinstance(noise_seed, np.random.SeedSequence)
             else np.random.SeedSequence(noise_seed)
         )
-        self.machine = CamMachine(
-            spec, tech, noise_sigma=noise_sigma,
-            noise_seed=self._noise_seq.spawn(1)[0],
-        )
+        self._owns_machine = machine is None
+        if machine is None:
+            machine = CamMachine(
+                spec, tech, noise_sigma=noise_sigma,
+                noise_seed=self._noise_seq.spawn(1)[0],
+            )
+        self.machine = machine
+        #: First machine subarray belonging to this session (0 on a
+        #: private machine; the shared-machine fill level when colocated).
+        self.subarray_base = machine.subarrays_used
         self.last_report: Optional[ExecutionReport] = None
         # Full-precision (float64) *unclamped* scores of the last
         # batch's top-k rows (no WTA-window clamp, no float32 cast) — a
@@ -164,12 +180,32 @@ class QuerySession:
             np.zeros(arg.type.shape, dtype=np.float64)
             for arg in args[:n_inputs]
         ]
-        interpreter = Interpreter(self.module, self.machine)
+        machine = self.machine
+        write_before = machine.energy.write
+        counts_before = (
+            machine.banks_used,
+            machine.mats_used,
+            machine.arrays_used,
+            machine.subarrays_used,
+        )
+        interpreter = Interpreter(
+            self.module, machine, subarray_base=self.subarray_base
+        )
         _outputs, report = interpreter.run_function(
             self.func_name, dummies + self.parameters
         )
         self.setup_latency_ns = report.setup_latency_ns
-        self.setup_energy_pj = self.machine.energy.write
+        # Setup cost and allocation are *this session's* share: on a
+        # shared machine the deltas scope reports to the tenant's banks;
+        # on a private machine they equal the machine totals.
+        self.setup_energy_pj = machine.energy.write - write_before
+        self.banks_used = machine.banks_used - counts_before[0]
+        self.mats_used = machine.mats_used - counts_before[1]
+        self.arrays_used = machine.arrays_used - counts_before[2]
+        self.subarrays_used = machine.subarrays_used - counts_before[3]
+        #: First machine array belonging to this session (scopes the
+        #: standby duty to the tenant's own occupancy).
+        self.array_base = counts_before[2]
         self.per_query_latency_ns = report.per_query_latency_ns
         self.machine.reset_query_state()
 
@@ -200,8 +236,14 @@ class QuerySession:
         )
 
     def reset(self) -> None:
-        """Clear query-side state (latches, counters); patterns survive."""
-        self.machine.reset_query_state()
+        """Clear query-side state (latches, counters); patterns survive.
+
+        On a shared (multi-tenant) machine only this session's
+        bookkeeping is dropped — the machine's counters belong to every
+        colocated tenant and are managed by the owning
+        :class:`~repro.runtime.placement.MultiTenantSession`."""
+        if self._owns_machine:
+            self.machine.reset_query_state()
         self.last_report = None
         self.last_values = None
         self.last_indices = None
@@ -236,12 +278,13 @@ class QuerySession:
         stacked = plan.batches > 1
         window = plan.patterns if stacked else plan.row_tile
         t0 = self._time
+        base = self.subarray_base
         # --- search: one vectorized machine call per placed tile -------
         search_end = t0
         for lin, batch, (_rp, cp) in self.program.tiles():
             qslice = queries[:, cp * plan.col_tile : (cp + 1) * plan.col_tile]
             dur = machine.search(
-                lin, qslice,
+                base + lin, qslice,
                 search_type="best", metric=self.program.metric,
                 row_begin=batch * plan.patterns if stacked else 0,
                 row_count=window, accumulate=stacked, at=t0,
@@ -251,7 +294,9 @@ class QuerySession:
         scores = np.zeros((n_queries, plan.patterns), dtype=np.float64)
         merge_end = search_end
         for lin in range(plan.subarrays):
-            values, _idx, rdur = machine.read_batch(lin, window, at=search_end)
+            values, _idx, rdur = machine.read_batch(
+                base + lin, window, at=search_end
+            )
             if stacked or plan.row_tiles == 1:
                 offset = 0
             else:
@@ -290,12 +335,41 @@ class QuerySession:
         return (
             dict(machine.energy.as_dict()),
             machine.total_searches,
-            [machine.subarray(i).searches
-             for i in range(machine.subarrays_used)],
+            [machine.subarray(self.subarray_base + i).searches
+             for i in range(self.subarrays_used)],
         )
 
+    def _standby_energy(self, latency_ns: float) -> float:
+        """Standby energy over this session's *own* hierarchy slice.
+
+        Mirrors :meth:`CamMachine.standby_energy` but with tenant-scoped
+        instance counts, so a colocated session is charged standby for
+        exactly the banks it occupies — identical to the machine-wide
+        figure when the session owns the whole machine.
+        """
+        if self.spec.optimization_target in ("power", "power+density"):
+            powered = self.arrays_used
+        else:
+            powered = self.subarrays_used
+        standby_mw = self.tech.standby_power(
+            self.spec,
+            subarrays=powered,
+            arrays=self.arrays_used,
+            mats=self.mats_used,
+            banks=self.banks_used,
+        )
+        duty = self.machine.standby_duty(self.array_base, self.arrays_used)
+        return standby_mw * latency_ns * duty
+
     def _report(self, before, n_queries: int) -> ExecutionReport:
-        """Batch report: this batch's query work + one-time setup cost."""
+        """Batch report: this batch's query work + one-time setup cost.
+
+        Counter *deltas* attribute the work: on a shared machine only
+        this session touched the machine between the snapshots (batches
+        are serialized per machine), so the report charges exactly this
+        tenant's searches/energy, and the allocation fields cover its
+        own banks rather than the whole fabric.
+        """
         machine = self.machine
         energy_before, searches_before, sub_before = before
         energy_now = machine.energy.as_dict()
@@ -304,9 +378,9 @@ class QuerySession:
         })
         energy.write = self.setup_energy_pj
         latency = n_queries * self.per_query_latency_ns
-        energy.standby += machine.standby_energy(latency)
+        energy.standby += self._standby_energy(latency)
         cycles = max(
-            (machine.subarray(i).searches - sub_before[i]
+            (machine.subarray(self.subarray_base + i).searches - sub_before[i]
              for i in range(len(sub_before))),
             default=0,
         )
@@ -314,10 +388,10 @@ class QuerySession:
             query_latency_ns=latency,
             setup_latency_ns=self.setup_latency_ns,
             energy=energy,
-            banks_used=machine.banks_used,
-            mats_used=machine.mats_used,
-            arrays_used=machine.arrays_used,
-            subarrays_used=machine.subarrays_used,
+            banks_used=self.banks_used,
+            mats_used=self.mats_used,
+            arrays_used=self.arrays_used,
+            subarrays_used=self.subarrays_used,
             searches=machine.total_searches - searches_before,
             search_cycles=cycles,
             queries=n_queries,

@@ -65,6 +65,7 @@ from repro.transforms.partitioning import (
     machine_row_capacity,
 )
 
+from .machineview import MachineGroupView
 from .session import QuerySession, SessionError
 
 
@@ -269,7 +270,7 @@ def build_shard_set(
 
 
 # ---------------------------------------------------------------- sessions
-class ShardedSession:
+class ShardedSession(MachineGroupView):
     """N live machines serving one similarity kernel's query stream.
 
     Owns one :class:`~repro.runtime.session.QuerySession` per shard —
@@ -328,6 +329,10 @@ class ShardedSession:
         self.batches_run = 0
 
     # ------------------------------------------------------------ topology
+    #: Aggregate machine view (:class:`MachineGroupView`): counters and
+    #: silicon span every shard machine.
+    _group_noun = "shard set"
+
     @property
     def num_shards(self) -> int:
         return len(self.sessions)
@@ -338,43 +343,8 @@ class ShardedSession:
         return [session.machine for session in self.sessions]
 
     @property
-    def machine(self):
-        """The aggregate machine view (``self``): read-only counters
-        spanning every shard, duck-typed for the analysis helpers."""
-        return self
-
-    @property
     def row_offsets(self) -> List[int]:
         return self.shard_set.row_offsets
-
-    # ----------------------------------------------- aggregate machine view
-    @property
-    def banks_used(self) -> int:
-        return sum(m.banks_used for m in self.machines)
-
-    @property
-    def mats_used(self) -> int:
-        return sum(m.mats_used for m in self.machines)
-
-    @property
-    def arrays_used(self) -> int:
-        return sum(m.arrays_used for m in self.machines)
-
-    @property
-    def subarrays_used(self) -> int:
-        return sum(m.subarrays_used for m in self.machines)
-
-    def subarray(self, linear: int):
-        """Subarray state by global linear index across shard machines."""
-        for machine in self.machines:
-            if linear < machine.subarrays_used:
-                return machine.subarray(linear)
-            linear -= machine.subarrays_used
-        raise KeyError(f"no subarray {linear} in the shard set")
-
-    def chip_area_mm2(self) -> float:
-        """Total silicon across all shard machines (areas add)."""
-        return sum(m.chip_area_mm2() for m in self.machines)
 
     # ------------------------------------------------------------ lifecycle
     def clone(self, noise_seed=None) -> "ShardedSession":

@@ -14,14 +14,13 @@ latency differences the paper studies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.arch.spec import ArchSpec
 from repro.arch.technology import FEFET_45NM, TechnologyModel
 
-from .cells import metric_prefers_larger
 from .metrics import EnergyBreakdown, ExecutionReport
 from .peripherals import best_match_batch
 from .subarray import SubarrayState
@@ -314,19 +313,25 @@ class CamMachine:
             return self.arrays_used
         return self.subarrays_used
 
-    def standby_duty(self) -> float:
+    def standby_duty(self, array_begin: int = 0, array_count: int = -1) -> float:
         """Fraction of the time peripherals draw standby power.
 
         The power configurations aggressively clock-gate the periphery
         while a serialized phase is waiting (that is the mechanism behind
         their power savings), so standby is drawn for roughly one phase
         out of the serialized schedule.
+
+        ``array_begin``/``array_count`` scope the occupancy to a slice
+        of the allocated arrays — a colocated tenant's duty depends on
+        *its own* subarray occupancy, not its co-tenants' (the default
+        covers the whole machine).
         """
         if self.spec.optimization_target not in ("power", "power+density"):
             return 1.0
-        occupancy = max(
-            (subs for _mat, subs in self._arrays), default=1
-        )
+        arrays = self._arrays[array_begin:]
+        if array_count >= 0:
+            arrays = arrays[:array_count]
+        occupancy = max((subs for _mat, subs in arrays), default=1)
         return 1.0 / max(occupancy, 1)
 
     def chip_area_mm2(self) -> float:

@@ -13,8 +13,13 @@ Multi-machine executions combine per-machine reports two ways:
 * :func:`merge_concurrent_reports` — **replicas** serving *disjoint*
   traffic concurrently: latency is the longest lane, but ``queries``
   sum, so ``throughput_qps`` reflects the concurrency replication buys.
+* :func:`combine_serial_reports` — **tenants** time-multiplexing one
+  machine (multi-tenant bank placement): latency sums (the shared
+  fabric serves one tenant at a time) and the per-tenant allocation
+  counts sum to the machine's — the fabric is counted once, since
+  bank-granular tenants partition it exactly.
 
-Both combiners require every report to come from the same architecture
+All combiners require every report to come from the same architecture
 (:attr:`ExecutionReport.spec`): summing energies or maxing latencies
 across different machine models is meaningless, so a mismatch raises
 instead of silently producing a chimera report.
@@ -234,6 +239,39 @@ def aggregate_reports(
         query_latency_ns=max(r.query_latency_ns for r in reports)
         + merge_latency_ns,
         queries=queries if queries is not None else reports[0].queries,
+        **fields,
+    )
+
+
+def combine_serial_reports(
+    reports: Sequence[ExecutionReport],
+) -> ExecutionReport:
+    """Combine per-tenant reports of kernels **time-multiplexing one
+    machine** (multi-tenant bank placement).
+
+    Colocated tenants occupy *disjoint* banks of the same fabric but the
+    machine serves their batches one at a time, so query latency **sums**
+    (the fabric is busy for the union of the tenants' batches) and so
+    does setup latency (pattern programming shares the write path).
+    Energy, queries, searches and the allocation counts sum as well —
+    with bank-granular placement the tenants partition the fabric
+    exactly, so the sum of per-tenant allocation *is* the machine's
+    allocation, counted once.  ``search_cycles`` stays a max (the
+    busiest subarray anywhere).  All reports must come from the same
+    :class:`~repro.arch.spec.ArchSpec` (``ValueError`` otherwise).  Used
+    by :class:`repro.runtime.placement.MultiTenantSession` for its
+    per-machine view; machines of a fleet then merge via
+    :func:`merge_concurrent_reports`.
+    """
+    if not reports:
+        raise ValueError(
+            "combine_serial_reports needs at least one tenant report"
+        )
+    fields = _combined_fields(reports, "combine_serial_reports")
+    fields["setup_latency_ns"] = sum(r.setup_latency_ns for r in reports)
+    return ExecutionReport(
+        query_latency_ns=sum(r.query_latency_ns for r in reports),
+        queries=sum(r.queries for r in reports),
         **fields,
     )
 

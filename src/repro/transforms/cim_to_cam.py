@@ -20,7 +20,6 @@ formula changes.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
 
 from repro.arch.spec import ArchSpec
@@ -31,7 +30,7 @@ from repro.dialects import memref as memref_d
 from repro.dialects import scf as scf_d
 from repro.ir.builder import OpBuilder
 from repro.ir.operation import Operation
-from repro.ir.types import MemRefType, TensorType, f32, i64, index
+from repro.ir.types import MemRefType, f32, i64, index
 from repro.ir.value import BlockArgument, Value
 from repro.passes.pass_manager import FunctionPass
 
@@ -241,7 +240,6 @@ def _emit_setup_nest(
     """Sequential allocation + write nest (executed once, off the query
     clock)."""
     spec, plan = em.spec, em.plan
-    seq = {level: "sequential" for level in ("bank", "mat", "array", "subarray")}
     _, bb, bk = em.loop(b, banks, parallel=False)
     bank_id = bb.create(
         cam_d.AllocBankOp, em.const(spec.rows), em.const(spec.cols)

@@ -14,7 +14,7 @@ are left untouched (they still execute on the host reference path).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.dialects import arith as arith_d
 from repro.dialects import cim as cim_d
@@ -23,7 +23,7 @@ from repro.dialects import scf as scf_d
 from repro.ir.builder import OpBuilder
 from repro.ir.operation import Operation
 from repro.ir.types import MemRefType, TensorType, f32
-from repro.ir.value import BlockArgument, Value
+from repro.ir.value import Value
 from repro.passes.pass_manager import FunctionPass
 
 LOWERABLE = ("cim.transpose", "cim.matmul", "cim.sub", "cim.div", "cim.norm")

@@ -19,7 +19,7 @@ from typing import Dict
 
 from repro.arch.spec import LEVELS, ArchSpec
 
-from .partitioning import PartitionPlan, compute_partition_plan
+from .partitioning import compute_partition_plan
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ returning the full similarity matrix) operation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.dialects import cim as cim_d
 from repro.ir.builder import OpBuilder

@@ -9,10 +9,9 @@ The fusion pass subsequently merges compatible execute blocks.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.dialects import cim as cim_d
-from repro.dialects import torch as torch_d
 from repro.ir.builder import OpBuilder
 from repro.ir.operation import Operation
 from repro.ir.value import Value

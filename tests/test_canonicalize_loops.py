@@ -1,7 +1,6 @@
 """Tests for canonicalization, CSE and the cim-to-loops host lowering."""
 
 import numpy as np
-import pytest
 
 import repro.frontend.torch_api as torch
 from repro.dialects import arith as arith_d
@@ -97,7 +96,7 @@ class TestCSE:
         c1 = b.create(arith_d.ConstantOp, 7)
         c2 = b.create(arith_d.ConstantOp, 7)
         add = b.create(arith_d.AddIOp, c1.result, c2.result)
-        cast = b.create(arith_d.IndexCastOp, add.result, add.result.type)
+        b.create(arith_d.IndexCastOp, add.result, add.result.type)
         b.create(func_d.ReturnOp, [])
         PassManager([CSEPass(), CanonicalizePass()], verify_each=False).run(m)
         verify(m)
@@ -116,7 +115,7 @@ class TestCSE:
         c1 = b.create(arith_d.ConstantOp, 1)
         c2 = b.create(arith_d.ConstantOp, 2)
         add = b.create(arith_d.AddIOp, c1.result, c2.result)
-        cast = b.create(arith_d.IndexCastOp, add.result, add.result.type)
+        b.create(arith_d.IndexCastOp, add.result, add.result.type)
         b.create(func_d.ReturnOp, [])
         PassManager([CSEPass()], verify_each=False).run(m)
         assert count(m, name="arith.constant") == 2

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.arch import dse_spec, paper_spec
-from repro.compiler import C4CAMCompiler, CompiledKernel, build_pipeline
+from repro.compiler import C4CAMCompiler, build_pipeline
 from repro.frontend import placeholder
 
 

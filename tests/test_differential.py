@@ -18,6 +18,8 @@ tie-heavy and all-zero-score inputs, where only the stable lowest-index
 tie-break keeps the paths aligned — and asserts the promise holds.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -156,6 +158,140 @@ def test_tie_heavy_store_resolves_identically():
     for path in (batched, sharded, served):
         np.testing.assert_array_equal(path[1], expected)
         np.testing.assert_array_equal(path[0], interpreter[0])
+
+
+def _random_tenants(rng, count):
+    """Independent random workloads (distinct shapes, k and kinds)."""
+    tenants = []
+    for _ in range(count):
+        patterns = int(rng.integers(4, 28))
+        features = int(rng.choice([32, 64, 128]))
+        k = int(rng.integers(1, min(patterns, 4) + 1))
+        kind = rng.choice(["gaussian", "bipolar", "ties"])
+        if kind == "gaussian":
+            stored = rng.standard_normal((patterns, features))
+        elif kind == "bipolar":
+            stored = rng.choice([-1.0, 1.0], (patterns, features))
+        else:
+            uniques = rng.choice([-1.0, 1.0], (2, features))
+            stored = uniques[rng.integers(0, 2, patterns)]
+        queries = rng.standard_normal((int(rng.integers(1, 7)), features))
+        tenants.append(
+            (stored.astype(np.float32), queries.astype(np.float32), k)
+        )
+    return tenants
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_tenant_isolation_differential(seed):
+    """K colocated tenants vs. each compiled alone: bitwise-equal top-k
+    per tenant, and per-tenant energy summing to the fleet report.
+
+    The colocated paths exercised are the synchronous shared-fleet
+    ``run_batch(tenant_id, Q)`` and the tenant-aware async engine with
+    randomized request chunking — neither may leak any influence of the
+    co-resident stores into a tenant's results.
+    """
+    rng = np.random.default_rng(441_000 + seed)
+    spec = replace(dse_spec(int(rng.choice([16, 32]))), banks=2)
+    compiler = C4CAMCompiler(spec)
+    tenants = _random_tenants(rng, int(rng.integers(2, 5)))
+    ids = [f"t{i}" for i in range(len(tenants))]
+
+    # Each tenant compiled and served alone on a private machine.
+    solo = {}
+    for tid, (stored, queries, k) in zip(ids, tenants):
+        kernel = compiler.compile(
+            _dot_model(stored, k), [placeholder((1, stored.shape[1]))]
+        )
+        solo[tid] = tuple(kernel.run_batch(queries))
+
+    # The same kernels colocated on one shared fleet.
+    colocated = compiler.compile_many(
+        [_dot_model(stored, k) for stored, _q, k in tenants],
+        [[placeholder((1, stored.shape[1]))] for stored, _q, _k in tenants],
+        tenant_ids=ids,
+    )
+    for tid, (_stored, queries, _k) in zip(ids, tenants):
+        values, indices = colocated.run_batch(tid, queries)
+        np.testing.assert_array_equal(
+            indices, solo[tid][1],
+            err_msg=f"colocated tenant {tid} indices diverge (seed {seed})",
+        )
+        np.testing.assert_array_equal(
+            values, solo[tid][0],
+            err_msg=f"colocated tenant {tid} values diverge (seed {seed})",
+        )
+
+    # Per-tenant accounting must sum exactly to the fleet report: the
+    # fabric is partitioned bank-granularly, so there is no residual
+    # shared term and every energy component adds up.
+    fleet = colocated.report()
+    for key, value in fleet.energy.as_dict().items():
+        tenant_sum = sum(
+            colocated.report(tid).energy.as_dict()[key] for tid in ids
+        )
+        np.testing.assert_allclose(
+            tenant_sum, value, rtol=1e-12, err_msg=f"energy[{key}]"
+        )
+    assert fleet.queries == sum(
+        colocated.report(tid).queries for tid in ids
+    )
+    assert fleet.banks_used == sum(
+        colocated.report(tid).banks_used for tid in ids
+    )
+
+    # Tenant-aware async serving with random chunking: same results.
+    served_kernel = compiler.compile_many(
+        [_dot_model(stored, k) for stored, _q, k in tenants],
+        [[placeholder((1, stored.shape[1]))] for stored, _q, _k in tenants],
+        tenant_ids=ids,
+        num_replicas=int(rng.integers(1, 3)),
+    )
+    with served_kernel.serve(
+        max_batch=int(rng.integers(1, 6)),
+        max_wait=float(rng.choice([0.0, 0.001])),
+    ) as engine:
+        futures = {}
+        for tid, (_stored, queries, _k) in zip(ids, tenants):
+            futures[tid], cursor = [], 0
+            while cursor < len(queries):
+                take = min(int(rng.integers(1, 3)), len(queries) - cursor)
+                futures[tid].append(
+                    engine.submit(queries[cursor : cursor + take], tenant=tid)
+                )
+                cursor += take
+        for tid in ids:
+            parts = [f.result(timeout=30) for f in futures[tid]]
+            values = np.vstack([p[0] for p in parts])
+            indices = np.vstack([p[1] for p in parts])
+            np.testing.assert_array_equal(indices, solo[tid][1])
+            np.testing.assert_array_equal(values, solo[tid][0])
+
+
+def test_multi_tenant_overpack_names_tenant_and_demand():
+    """Over-packing fails at compile time with the tenant named and its
+    bank demand spelled out (plus the per-tenant breakdown)."""
+    from repro.runtime.placement import PlacementError
+    from repro.transforms import CapacityError
+
+    rng = np.random.default_rng(7)
+    spec = replace(dse_spec(16), banks=1)
+    compiler = C4CAMCompiler(spec)
+    small = rng.choice([-1.0, 1.0], (8, 64)).astype(np.float32)
+    huge = rng.choice([-1.0, 1.0], (400, 256)).astype(np.float32)
+    with pytest.raises(CapacityError) as err:
+        compiler.compile_many(
+            [_dot_model(small, 1), _dot_model(huge, 1)],
+            [[placeholder((1, 64))], [placeholder((1, 256))]],
+            tenant_ids=["small", "huge"],
+            max_machines=1,
+        )
+    assert isinstance(err.value, PlacementError)
+    assert err.value.tenant_id == "huge"
+    message = str(err.value)
+    assert "'huge'" in message and "bank" in message
+    assert "'small'" in message  # the per-tenant breakdown lists everyone
 
 
 def test_all_zero_scores_resolve_identically():

@@ -1,10 +1,8 @@
 """Tests for the sweep/evaluation utilities."""
 
-import numpy as np
 import pytest
 
 from repro.apps import synthetic_mnist, train_hdc
-from repro.arch import dse_spec
 from repro.evaluation import (
     SweepPoint,
     SweepResult,

@@ -89,7 +89,6 @@ class TestArithScf:
         )
         b.create(func_d.ReturnOp, [])
         ip = Interpreter(m)
-        env_probe = {}
         ip.run_function("main", [])
         # cond is false -> else branch -> 7.0 (verified via memory effects
         # below in the memref tests; here we just check it doesn't crash)

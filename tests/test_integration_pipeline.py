@@ -10,8 +10,6 @@ import pytest
 
 import repro.frontend.torch_api as torch
 from repro.arch import dse_spec, paper_spec
-from repro.compiler import C4CAMCompiler
-from repro.dialects import cim as cim_d
 from repro.dialects import scf as scf_d
 from repro.frontend import import_graph, placeholder, trace
 from repro.ir import count, first, print_module, verify, walk
@@ -204,7 +202,6 @@ class TestStructuralConfigDifferences:
 class TestMultiKernelModules:
     def test_two_functions_compile_independently(self, rng):
         """A module with two similarity kernels lowers both."""
-        from repro.dialects import func as func_d
         from repro.ir.module import ModuleOp
 
         stored = rng.choice([-1.0, 1.0], (8, 64)).astype(np.float32)

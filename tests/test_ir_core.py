@@ -8,7 +8,7 @@ from repro.ir.block import Block, Region
 from repro.ir.builder import OpBuilder
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation, lookup_op_class, register_op
-from repro.ir.types import FunctionType, TensorType, f32, index
+from repro.ir.types import FunctionType, f32, index
 from repro.ir.value import BlockArgument, OpResult
 
 
@@ -68,7 +68,7 @@ class TestUseLists:
 
     def test_replace_with_self_is_noop(self):
         a = arith_d.ConstantOp(1)
-        add = arith_d.AddIOp(a.result, a.result)
+        arith_d.AddIOp(a.result, a.result)
         a.result.replace_all_uses_with(a.result)
         assert len(a.result.uses) == 2
 
@@ -216,7 +216,7 @@ class TestWalkAndClone:
         m, f = make_func()
         b = OpBuilder.at_end(f.body)
         c = b.create(arith_d.ConstantOp, 1)
-        add = b.create(arith_d.AddIOp, c.result, c.result)
+        b.create(arith_d.AddIOp, c.result, c.result)
         m2 = m.clone()
         c2, add2 = list(m2.functions())[0].body.operations
         assert add2.operands[0] is c2.result

@@ -7,8 +7,7 @@ from repro.dialects import func as func_d
 from repro.dialects import scf as scf_d
 from repro.ir.builder import InsertionPoint, OpBuilder
 from repro.ir.module import ModuleOp
-from repro.ir.operation import Operation
-from repro.ir.types import FunctionType, index
+from repro.ir.types import FunctionType
 from repro.ir.verifier import VerificationError, verify
 
 
@@ -122,6 +121,6 @@ class TestBuilder:
         c1 = b.create(arith_d.ConstantOp, 1)
         with b.at(InsertionPoint.before(c1)):
             b.create(arith_d.ConstantOp, 0)
-        c2 = b.create(arith_d.ConstantOp, 2)
+        b.create(arith_d.ConstantOp, 2)
         values = [op.attributes["value"].value for op in f.body.operations]
         assert values == [0, 1, 2]

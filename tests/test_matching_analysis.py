@@ -4,7 +4,7 @@ pipeline spec parsing and the CLI driver."""
 import numpy as np
 import pytest
 
-from repro.apps.matching import MatchResult, PatternMatcher
+from repro.apps.matching import PatternMatcher
 from repro.arch import FEFET_45NM, dse_spec, iso_capacity_spec, paper_spec
 from repro.simulator import CamMachine
 from repro.simulator.analysis import (

@@ -1,0 +1,479 @@
+"""Multi-tenant bank placement: allocator, shared sessions, accounting.
+
+Covers the placement planner (first-fit-decreasing packing, overflow
+diagnostics), the shared-machine session path (disjoint fabric, bitwise
+isolation, eviction/re-placement on reset), per-tenant vs. fleet
+accounting, replication/serving over a multi-tenant fleet, the
+``TenantPool`` app and the CLI ``--tenants`` demo.  The randomized
+bitwise-isolation guarantee itself lives in ``test_differential.py``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.arch import dse_spec
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+from repro.runtime.placement import (
+    PlacementError,
+    TenantDemand,
+    plan_placement,
+    tenant_demand,
+)
+from repro.runtime.session import SessionError
+from repro.transforms import CapacityError
+from repro.transforms.partitioning import compute_partition_plan
+
+
+def _demand(tenant_id, banks, spec):
+    """A TenantDemand with an explicit bank count (plan is cosmetic)."""
+    plan = compute_partition_plan(4, 16, 1, spec, use_density=False)
+    return TenantDemand(tenant_id=tenant_id, plan=plan, banks=banks)
+
+
+def _dot_model(stored, k=1):
+    import repro.frontend.torch_api as torch
+
+    class DotSimilarity(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(stored)
+
+        def forward(self, input):
+            others = self.weight.transpose(-2, -1)
+            matmul = torch.matmul(input, others)
+            return torch.ops.aten.topk(matmul, k, largest=True)
+
+    return DotSimilarity()
+
+
+def _compile_tenants(compiler, stores, ks=None, **kwargs):
+    ks = ks or [1] * len(stores)
+    return compiler.compile_many(
+        [_dot_model(s, k) for s, k in zip(stores, ks)],
+        [[placeholder((1, s.shape[1]))] for s in stores],
+        **kwargs,
+    )
+
+
+# ------------------------------------------------------------ the planner
+class TestPlanPlacement:
+    def test_first_fit_decreasing_packs_tightly(self):
+        spec = replace(dse_spec(16), banks=4)
+        demands = [
+            _demand("small1", 1, spec),
+            _demand("big", 3, spec),
+            _demand("small2", 1, spec),
+            _demand("medium", 2, spec),
+        ]
+        plan = plan_placement(demands, spec)
+        # FFD: big(3)+small1(1) fill machine 0; medium(2)+small2(1) fit
+        # machine 1 — two machines for 7 banks of demand.
+        assert plan.num_machines == 2
+        big = plan.for_tenant("big")
+        assert (big.machine_index, big.bank_offset) == (0, 0)
+        assert plan.for_tenant("small1").machine_index == 0
+        assert plan.for_tenant("medium") == plan.machine_tenants(1)[0]
+        # Programming order is ascending (machine, offset) and offsets
+        # tile each machine without gaps.
+        for index in range(plan.num_machines):
+            cursor = 0
+            for assignment in plan.machine_tenants(index):
+                assert assignment.bank_offset == cursor
+                cursor += assignment.banks
+            assert cursor <= 4
+
+    def test_equal_demands_keep_submission_order(self):
+        spec = replace(dse_spec(16), banks=4)
+        plan = plan_placement(
+            [_demand(f"t{i}", 2, spec) for i in range(4)], spec
+        )
+        assert plan.tenant_ids == ["t0", "t1", "t2", "t3"]
+        assert [a.machine_index for a in plan.assignments] == [0, 0, 1, 1]
+
+    def test_unbounded_spec_is_one_machine(self):
+        spec = dse_spec(16)  # banks=None
+        plan = plan_placement(
+            [_demand("a", 5, spec), _demand("b", 2, spec)], spec
+        )
+        assert plan.num_machines == 1
+        assert plan.banks_per_machine is None
+        assert plan.for_tenant("b").bank_offset == 5
+
+    def test_fleet_grows_on_demand_without_cap(self):
+        spec = replace(dse_spec(16), banks=2)
+        plan = plan_placement(
+            [_demand(f"t{i}", 2, spec) for i in range(5)], spec
+        )
+        assert plan.num_machines == 5
+
+    def test_overpacking_capped_fleet_raises_with_breakdown(self):
+        spec = replace(dse_spec(16), banks=2)
+        demands = [_demand(f"t{i}", 2, spec) for i in range(3)]
+        with pytest.raises(PlacementError) as err:
+            plan_placement(demands, spec, max_machines=2)
+        assert isinstance(err.value, CapacityError)
+        assert err.value.tenant_id in {"t0", "t1", "t2"}
+        message = str(err.value)
+        assert "3 tenants demand 6 bank(s)" in message
+        for demand in demands:
+            assert repr(demand.tenant_id) in message
+
+    def test_single_oversize_tenant_named(self):
+        spec = replace(dse_spec(16), banks=2)
+        with pytest.raises(PlacementError) as err:
+            plan_placement(
+                [_demand("ok", 1, spec), _demand("oversize", 3, spec)], spec
+            )
+        assert err.value.tenant_id == "oversize"
+        assert "3 bank(s)" in str(err.value)
+
+    def test_duplicate_ids_rejected(self):
+        spec = replace(dse_spec(16), banks=2)
+        with pytest.raises(ValueError, match="duplicate"):
+            plan_placement(
+                [_demand("x", 1, spec), _demand("x", 1, spec)], spec
+            )
+
+    def test_demand_matches_lowered_allocation(self):
+        """The planner's bank math is the lowering's bank math."""
+        spec = replace(dse_spec(16), banks=4)
+        plan = compute_partition_plan(40, 128, 1, spec, use_density=False)
+        demand = tenant_demand("t", plan, spec)
+        assert demand.banks == spec.banks_needed(plan.subarrays)
+
+
+# ------------------------------------------------- shared-machine sessions
+class TestMultiTenantSession:
+    @pytest.fixture()
+    def fleet(self, rng):
+        spec = replace(dse_spec(16), banks=2)
+        compiler = C4CAMCompiler(spec)
+        stores = [
+            rng.choice([-1.0, 1.0], (12, 64)).astype(np.float32),
+            rng.choice([-1.0, 1.0], (8, 32)).astype(np.float32),
+            rng.choice([-1.0, 1.0], (16, 128)).astype(np.float32),
+        ]
+        kernel = _compile_tenants(
+            compiler, stores, ks=[2, 1, 3], tenant_ids=["a", "b", "c"]
+        )
+        return compiler, stores, kernel
+
+    def test_tenants_occupy_disjoint_banks(self, fleet):
+        _compiler, _stores, kernel = fleet
+        session = kernel.session()
+        offsets = {}
+        for tenant_session in session.sessions:
+            base = tenant_session.subarray_base
+            span = tenant_session.subarrays_used
+            machine = tenant_session.machine
+            key = id(machine)
+            for lin in range(base, base + span):
+                assert (key, lin) not in offsets
+                offsets[(key, lin)] = True
+        # Fleet-wide counts equal the sum over tenants.
+        assert session.banks_used == sum(
+            s.banks_used for s in session.sessions
+        )
+
+    def test_interleaved_batches_stay_isolated(self, fleet, rng):
+        compiler, stores, kernel = fleet
+        batches = {
+            tid: rng.choice([-1.0, 1.0], (3, s.shape[1])).astype(np.float32)
+            for tid, s in zip(["a", "b", "c"], stores)
+        }
+        solo = {}
+        for tid, s, k in zip(["a", "b", "c"], stores, [2, 1, 3]):
+            kernel_solo = compiler.compile(
+                _dot_model(s, k), [placeholder((1, s.shape[1]))]
+            )
+            solo[tid] = tuple(kernel_solo.run_batch(batches[tid]))
+        # Interleave tenants, twice around: later batches of one tenant
+        # must be unaffected by the other tenants' traffic in between.
+        for _round in range(2):
+            for tid in ("a", "c", "b"):
+                values, indices = kernel.run_batch(tid, batches[tid])
+                np.testing.assert_array_equal(values, solo[tid][0])
+                np.testing.assert_array_equal(indices, solo[tid][1])
+
+    def test_per_tenant_report_matches_private_machine(self, fleet, rng):
+        compiler, stores, kernel = fleet
+        queries = rng.choice([-1.0, 1.0], (4, 64)).astype(np.float32)
+        kernel.run_batch("a", queries)
+        solo = compiler.compile(
+            _dot_model(stores[0], 2), [placeholder((1, 64))]
+        )
+        solo.run_batch(queries)
+        colocated, private = kernel.last_report, solo.last_report
+        assert colocated.banks_used == private.banks_used
+        assert colocated.subarrays_used == private.subarrays_used
+        assert colocated.query_latency_ns == private.query_latency_ns
+        np.testing.assert_allclose(
+            colocated.energy.total, private.energy.total, rtol=1e-12
+        )
+
+    def test_power_target_standby_scoped_to_tenant_occupancy(self, rng):
+        """On power targets the standby duty derives from per-array
+        occupancy; a colocated tenant must be charged by *its own*
+        occupancy, not a denser co-tenant's (regression: the duty used
+        to be machine-global)."""
+        spec = replace(
+            dse_spec(16).with_target("power"), banks=4
+        )
+        compiler = C4CAMCompiler(spec)
+        small = rng.choice([-1.0, 1.0], (8, 32)).astype(np.float32)
+        large = rng.choice([-1.0, 1.0], (200, 32)).astype(np.float32)
+        kernel = _compile_tenants(
+            compiler, [small, large], tenant_ids=["small", "large"]
+        )
+        queries = rng.choice([-1.0, 1.0], (3, 32)).astype(np.float32)
+        kernel.run_batch("small", queries)
+        colocated = kernel.last_report
+        solo = compiler.compile(_dot_model(small), [placeholder((1, 32))])
+        solo.run_batch(queries)
+        np.testing.assert_allclose(
+            colocated.energy.standby,
+            solo.last_report.energy.standby,
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            colocated.energy.total, solo.last_report.energy.total,
+            rtol=1e-12,
+        )
+
+    def test_reset_evicts_and_reprograms(self, fleet, rng):
+        _compiler, stores, kernel = fleet
+        queries = rng.choice([-1.0, 1.0], (2, 32)).astype(np.float32)
+        first = kernel.run_batch("b", queries)
+        session = kernel.session()
+        machines_before = [id(m) for m in session.machines]
+        session.reset()
+        assert [id(m) for m in session.machines] != machines_before
+        assert session.batches_run == 0
+        again = kernel.run_batch("b", queries)
+        np.testing.assert_array_equal(first[0], again[0])
+        np.testing.assert_array_equal(first[1], again[1])
+        # Accounting restarted: exactly one batch on the lane.
+        assert kernel.report("b").queries == 2
+
+    def test_kernel_reset_restarts_placement(self, fleet, rng):
+        _compiler, _stores, kernel = fleet
+        queries = rng.choice([-1.0, 1.0], (2, 64)).astype(np.float32)
+        kernel.run_batch("a", queries)
+        old_session = kernel.session()
+        kernel.reset()
+        assert kernel.session() is not old_session
+        assert kernel.report("a").queries == 0
+
+    def test_unknown_tenant_rejected(self, fleet):
+        _compiler, _stores, kernel = fleet
+        with pytest.raises(SessionError, match="no tenant 'zz'"):
+            kernel.run_batch("zz", np.zeros((1, 64)))
+
+    def test_fleet_latency_is_busiest_machine(self, fleet, rng):
+        _compiler, stores, kernel = fleet
+        for tid, s in zip(["a", "b", "c"], stores):
+            kernel.run_batch(
+                tid,
+                rng.choice([-1.0, 1.0], (2, s.shape[1])).astype(np.float32),
+            )
+        session = kernel.session()
+        per_machine = [
+            session.machine_report(i).query_latency_ns
+            for i in range(session.num_machines)
+        ]
+        assert kernel.report().query_latency_ns == max(per_machine)
+        # Same-machine tenants' latencies summed into that machine's view.
+        tenants_of_0 = session.placement.machine_tenants(0)
+        assert per_machine[0] == pytest.approx(
+            sum(
+                session.tenant_report(a.tenant_id).query_latency_ns
+                for a in tenants_of_0
+            )
+        )
+
+
+# ----------------------------------------------- replication over a fleet
+class TestReplicatedMultiTenant:
+    def test_replicated_fleet_results_and_accounting(self, rng):
+        spec = replace(dse_spec(16), banks=4)
+        compiler = C4CAMCompiler(spec)
+        stores = [
+            rng.choice([-1.0, 1.0], (10, 64)).astype(np.float32),
+            rng.choice([-1.0, 1.0], (6, 64)).astype(np.float32),
+        ]
+        kernel = _compile_tenants(
+            compiler, stores, tenant_ids=["x", "y"], num_replicas=2
+        )
+        solo = compiler.compile(_dot_model(stores[0]), [placeholder((1, 64))])
+        queries = rng.choice([-1.0, 1.0], (3, 64)).astype(np.float32)
+        expected = solo.run_batch(queries)
+        for _ in range(3):  # routed across replicas, same answers
+            got = kernel.run_batch("x", queries)
+            np.testing.assert_array_equal(got[0], expected[0])
+            np.testing.assert_array_equal(got[1], expected[1])
+        # Silicon doubles with the replica count (each replica holds
+        # both tenants), and tenant reports span both replica lanes.
+        assert kernel.report().banks_used == 2 * kernel.session().replicas[
+            0
+        ].banks_used
+        assert kernel.report("x").queries == 9
+
+    def test_engine_never_mixes_tenants_in_a_micro_batch(self, rng):
+        spec = replace(dse_spec(16), banks=4)
+        compiler = C4CAMCompiler(spec)
+        stores = [
+            rng.choice([-1.0, 1.0], (9, 64)).astype(np.float32),
+            rng.choice([-1.0, 1.0], (5, 64)).astype(np.float32),
+        ]
+        kernel = _compile_tenants(compiler, stores, tenant_ids=["x", "y"])
+        refs = {
+            tid: compiler.compile(
+                _dot_model(s), [placeholder((1, 64))]
+            )
+            for tid, s in zip(["x", "y"], stores)
+        }
+        with kernel.serve(max_batch=64, max_wait=0.02) as engine:
+            futures = []
+            for i in range(12):  # strictly alternating tenants
+                tid = "x" if i % 2 == 0 else "y"
+                q = rng.choice([-1.0, 1.0], 64).astype(np.float32)
+                futures.append((tid, q, engine.submit(q, tenant=tid)))
+            for tid, q, future in futures:
+                values, indices = future.result(timeout=30)
+                ev, ei = refs[tid].run_batch(q[None, :])
+                np.testing.assert_array_equal(values, ev)
+                np.testing.assert_array_equal(indices, ei)
+        # A huge max_batch still cannot merge different tenants, so the
+        # alternating stream needs more than one micro-batch.
+        assert engine.stats()["batches_dispatched"] >= 2
+
+    def test_engine_tenant_validation(self, rng):
+        spec = replace(dse_spec(16), banks=4)
+        compiler = C4CAMCompiler(spec)
+        stores = [rng.choice([-1.0, 1.0], (6, 64)).astype(np.float32)]
+        kernel = _compile_tenants(compiler, stores, tenant_ids=["only"])
+        with kernel.serve() as engine:
+            with pytest.raises(SessionError, match="multi-tenant"):
+                engine.submit(np.zeros(64))
+            with pytest.raises(SessionError, match="no tenant"):
+                engine.submit(np.zeros(64), tenant="ghost")
+            with pytest.raises(ValueError, match="width"):
+                engine.submit(np.zeros(32), tenant="only")
+        # Single-tenant backends reject tenant ids outright.
+        plain = compiler.compile(_dot_model(stores[0]), [placeholder((1, 64))])
+        with plain.serve() as engine:
+            with pytest.raises(SessionError, match="single-tenant"):
+                engine.submit(np.zeros(64), tenant="only")
+
+
+# ------------------------------------------------------------ compile_many
+class TestCompileMany:
+    def test_structural_contract_enforced(self, rng):
+        import repro.frontend.torch_api as torch
+
+        stored = rng.choice([-1.0, 1.0], (6, 32)).astype(np.float32)
+
+        class PostProcessed(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(stored)
+
+            def forward(self, input):
+                others = self.weight.transpose(-2, -1)
+                matmul = torch.matmul(input, others)
+                values, indices = torch.ops.aten.topk(matmul, 1, largest=True)
+                return torch.sub(values, values), indices
+
+        compiler = C4CAMCompiler(dse_spec(16))
+        with pytest.raises(SessionError, match="not placeable"):
+            compiler.compile_many(
+                [PostProcessed()], [[placeholder((1, 32))]],
+                tenant_ids=["post"],
+            )
+
+    def test_argument_validation(self, rng):
+        compiler = C4CAMCompiler(dse_spec(16))
+        stored = rng.choice([-1.0, 1.0], (4, 32)).astype(np.float32)
+        with pytest.raises(ValueError, match="at least one"):
+            compiler.compile_many([], [])
+        with pytest.raises(ValueError, match="tenant ids"):
+            compiler.compile_many(
+                [_dot_model(stored)], [[placeholder((1, 32))]],
+                tenant_ids=["a", "b"],
+            )
+        with pytest.raises(ValueError, match="example"):
+            compiler.compile_many([_dot_model(stored)], [])
+
+    def test_default_tenant_ids_and_placement_exposed(self, rng):
+        compiler = C4CAMCompiler(replace(dse_spec(16), banks=2))
+        stores = [
+            rng.choice([-1.0, 1.0], (4, 32)).astype(np.float32)
+            for _ in range(2)
+        ]
+        kernel = _compile_tenants(compiler, stores)
+        assert kernel.tenant_ids == ["tenant0", "tenant1"]
+        assert kernel.placement.num_machines >= 1
+        assert "tenant0" in kernel.placement.describe()
+
+
+# ------------------------------------------------------------- TenantPool
+class TestTenantPool:
+    def test_pool_round_trip(self, rng):
+        from repro.apps import TenantPool
+
+        spec = replace(dse_spec(16), banks=2)
+        pool = TenantPool(spec)
+        faces = rng.choice([-1.0, 1.0], (10, 64)).astype(np.float32)
+        spam = rng.choice([-1.0, 1.0], (6, 32)).astype(np.float32)
+        pool.add("faces", faces, k=2).add("spam", spam)
+        values, indices = pool.run("faces", faces[4])
+        assert indices[0, 0] == 4
+        _values, spam_idx = pool.run("spam", spam[[1, 5]])
+        np.testing.assert_array_equal(spam_idx[:, 0], [1, 5])
+        assert pool.report("faces").queries == 1
+        assert pool.report().queries == 3
+        assert pool.num_tenants == 2 and pool.is_open
+
+    def test_pool_guards(self, rng):
+        from repro.apps import TenantPool
+
+        pool = TenantPool(dse_spec(16))
+        with pytest.raises(RuntimeError, match="no tenants"):
+            pool.open()
+        stored = rng.choice([-1.0, 1.0], (4, 32)).astype(np.float32)
+        pool.add("a", stored)
+        with pytest.raises(ValueError, match="duplicate"):
+            pool.add("a", stored)
+        with pytest.raises(ValueError, match="k=9"):
+            pool.add("b", stored, k=9)
+        pool.open()
+        with pytest.raises(RuntimeError, match="already open"):
+            pool.add("c", stored)
+        pool.reset()
+        pool.add("c", stored)  # legal again after reset
+        assert set(pool.open().tenant_ids) == {"a", "c"}
+
+
+def test_cli_tenants_demo(capsys):
+    from repro.cli import main
+
+    assert main([
+        "--tenants", "3", "--banks", "2", "--patterns", "6",
+        "--dims", "128", "--queries", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tenant0" in out and "tenant2" in out
+    assert "machine 0" in out
+    assert "fleet:" in out
+
+
+def test_cli_tenants_overflow_is_friendly(capsys):
+    from repro.cli import main
+
+    assert main([
+        "--tenants", "2", "--banks", "1", "--patterns", "400",
+        "--dims", "1024", "--queries", "1",
+    ]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err and "bank" in err

@@ -8,14 +8,12 @@
 * merge-of-partials equals the unpartitioned computation.
 """
 
-import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch import ArchSpec, dse_spec, paper_spec
+from repro.arch import dse_spec, paper_spec
 from repro.compiler import C4CAMCompiler
 from repro.frontend import placeholder
 from repro.simulator.cells import (

@@ -3,14 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.arch import dse_spec, paper_spec
+from repro.arch import paper_spec
 from repro.simulator import (
     AllocationError,
     CamMachine,
     EnergyBreakdown,
     ExecutionReport,
     SubarrayState,
-    Trace,
     best_match,
     compute_scores,
     dot_similarity,

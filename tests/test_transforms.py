@@ -5,7 +5,6 @@ import pytest
 
 import repro.frontend.torch_api as torch
 from repro.arch import dse_spec, paper_spec
-from repro.dialects import cim as cim_d
 from repro.frontend import import_graph, placeholder, trace
 from repro.ir.traversal import count, first, walk
 from repro.ir.verifier import verify
@@ -14,7 +13,6 @@ from repro.transforms import (
     CimFuseOpsPass,
     CimPartitionPass,
     CimToCamPass,
-    LoweringError,
     SimilarityMatchingPass,
     TorchToCimPass,
     cam_search_metric,
@@ -24,7 +22,6 @@ from repro.transforms import (
     resolve_optimization,
     subarrays_required,
 )
-from repro.transforms.partitioning import annotate
 
 
 def dot_module(p=10, d=256, q=4, k=1, largest=False):
@@ -123,7 +120,6 @@ class TestFusion:
 
     def test_unrelated_executes_not_fused(self):
         # Two independent transposes: no producer/consumer relation.
-        w = np.ones((4, 8), dtype=np.float32)
 
         def fn(a, b):
             return a.transpose(0, 1), b.transpose(0, 1)

@@ -24,9 +24,9 @@ import numpy as np
 
 from repro.arch import ArchSpec, paper_spec
 from repro.compiler import C4CAMCompiler, CapacityError, build_pipeline
-from repro.passes.pass_manager import PassError
 from repro.frontend import placeholder
 from repro.ir.printer import print_module
+from repro.passes.pass_manager import PassError
 from repro.simulator.analysis import format_report
 
 
@@ -78,6 +78,19 @@ def make_parser() -> argparse.ArgumentParser:
         "one shared machine fleet via multi-tenant bank placement and "
         "run a per-tenant batch each; reports per-tenant and fleet "
         "metrics (honours --banks for the machine cap and --replicas)",
+    )
+    p.add_argument(
+        "--cluster", type=int, metavar="K",
+        help="demo the dynamic cluster control plane: admit K kernels "
+        "at runtime, serve a mixed-priority workload (odd tenants "
+        "submit at --priority, even at 0), evict the first tenant "
+        "(defragmenting re-placement) and re-serve the survivors; "
+        "honours --banks and --batch",
+    )
+    p.add_argument(
+        "--priority", type=int, default=1, metavar="P",
+        help="priority class the --cluster demo's urgent tenants "
+        "submit at (higher dispatches first; default 1)",
     )
     p.add_argument(
         "--serve", action="store_true",
@@ -223,6 +236,109 @@ def run_tenants_demo(args, spec: ArchSpec) -> int:
     return 0
 
 
+def run_cluster_demo(args, spec: ArchSpec) -> int:
+    """``--cluster K``: a living fleet — admit, prioritise, evict.
+
+    Compiles K dot-similarity tenants of growing store size, admits
+    them into one :class:`~repro.runtime.cluster.Cluster` at runtime,
+    serves every tenant a ``--batch`` (default ``--queries``) workload
+    through the priority/deadline dispatcher (odd tenants submit at
+    ``--priority``, even at 0), then evicts the first tenant — its
+    banks are reclaimed by a defragmenting re-placement — and re-serves
+    a survivor to show the results did not move.
+    """
+    rng = np.random.default_rng(args.seed)
+    compiler = C4CAMCompiler(spec)
+    models, ids = [], []
+    for i in range(args.cluster):
+        patterns = args.patterns + i * (args.patterns // 2)
+        stored = rng.choice([-1.0, 1.0], (patterns, args.dims)).astype(
+            np.float32
+        )
+        models.append(stored)
+        ids.append(f"tenant{i}")
+    import repro.frontend.torch_api as torch
+
+    def dot_model(stored):
+        class DotSimilarity(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(stored)
+
+            def forward(self, input):
+                others = self.weight.transpose(-2, -1)
+                matmul = torch.matmul(input, others)
+                return torch.ops.aten.topk(matmul, 1, largest=True)
+
+        return DotSimilarity()
+
+    try:
+        cluster = compiler.compile_cluster(
+            [dot_model(stored) for stored in models],
+            [[placeholder((1, args.dims))] for _ in models],
+            tenant_ids=ids,
+        )
+    except (CapacityError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with cluster:
+        print(cluster.describe())
+        n_queries = args.batch or args.queries
+        workloads = {
+            tid: rng.choice([-1.0, 1.0], (n_queries, args.dims)).astype(
+                np.float32
+            )
+            for tid in ids
+        }
+        futures = {
+            tid: [
+                cluster.submit(
+                    q, tenant=tid,
+                    priority=args.priority if i % 2 else 0,
+                    deadline=0.005 if i % 2 else None,
+                )
+                for q in workloads[tid]
+            ]
+            for i, tid in enumerate(ids)
+        }
+        results = {
+            tid: np.vstack([f.result(timeout=60)[1] for f in fs])
+            for tid, fs in futures.items()
+        }
+        for i, tid in enumerate(ids):
+            report = cluster.tenant_report(tid)
+            print(
+                f"{tid} (priority {args.priority if i % 2 else 0}): "
+                f"indices {results[tid].ravel().tolist()} | "
+                f"{report.queries} queries, "
+                f"{report.energy.total:.2f} pJ"
+            )
+        survivor = ids[-1] if len(ids) > 1 else ids[0]
+        before = cluster.run_batch(workloads[survivor], tenant=survivor)
+        cluster.evict(ids[0])
+        print(f"evicted {ids[0]!r}; defragmented fleet:")
+        print(cluster.describe())
+        if survivor != ids[0]:
+            after = cluster.run_batch(workloads[survivor], tenant=survivor)
+            identical = all(
+                np.array_equal(x, y) for x, y in zip(before, after)
+            )
+            print(
+                f"{survivor} results after defragmentation: "
+                f"{'bitwise identical' if identical else 'DIVERGED'}"
+            )
+        fleet = cluster.report()
+        print(
+            f"fleet lifetime: {fleet.queries} queries, "
+            f"{fleet.energy.total:.2f} pJ, "
+            f"{cluster.defrag_count} defrag(s)"
+        )
+        if args.stats:
+            print(format_report(fleet))
+        else:
+            print(fleet.summary())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
@@ -246,8 +362,21 @@ def main(argv=None) -> int:
     if args.tenants is not None and (args.dump_ir or args.pipeline):
         parser.error("--tenants cannot be combined with --dump-ir or "
                      "--pipeline (the demo compiles several kernels)")
+    if args.cluster is not None and args.cluster < 1:
+        parser.error(
+            f"--cluster must be a positive tenant count, got {args.cluster}"
+        )
+    if args.cluster is not None and (
+        args.tenants is not None or args.shards is not None
+        or args.dump_ir or args.pipeline
+    ):
+        parser.error("--cluster cannot be combined with --tenants, "
+                     "--shards, --dump-ir or --pipeline (the demo "
+                     "drives its own compilation)")
     spec = load_spec(args)
     compiler = C4CAMCompiler(spec)
+    if args.cluster is not None:
+        return run_cluster_demo(args, spec)
     if args.tenants is not None:
         return run_tenants_demo(args, spec)
     model, example, queries = build_kernel(args)

@@ -72,10 +72,12 @@ from repro.arch.technology import FEFET_45NM, TechnologyModel
 from repro.dialects import cim as cim_d
 from repro.frontend import import_graph, trace
 from repro.frontend.torch_api import Graph, Tensor
+from repro.ir.context import load_all_dialects
 from repro.ir.module import ModuleOp
 from repro.ir.printer import print_module
 from repro.ir.value import BlockArgument
 from repro.passes.pass_manager import PassManager
+from repro.runtime.cluster import Cluster
 from repro.runtime.executor import Interpreter
 from repro.runtime.placement import (
     MultiTenantSession,
@@ -106,8 +108,6 @@ from repro.transforms import (
     plan_of,
     resolve_optimization,
 )
-
-from repro.ir.context import load_all_dialects
 
 load_all_dialects()
 
@@ -798,6 +798,54 @@ class C4CAMCompiler:
             noise_seed=noise_seed,
             max_machines=max_machines,
             num_replicas=num_replicas,
+        )
+
+    def compile_cluster(
+        self,
+        models: Sequence[Callable],
+        example_inputs: Sequence[Sequence[Tensor]],
+        tenant_ids: Optional[Sequence[str]] = None,
+        noise_sigma: float = 0.0,
+        noise_seed: int = 0,
+        **cluster_kwargs,
+    ) -> Cluster:
+        """Compile several kernels and admit them into a live
+        :class:`~repro.runtime.cluster.Cluster` control plane.
+
+        Unlike :meth:`compile_many` (a *static* co-resident fleet), the
+        returned cluster supports runtime ``admit``/``evict`` with
+        defragmenting re-placement, ``submit(..., priority=,
+        deadline=)`` dispatch and queue-depth autoscaling — and a
+        kernel too large for one machine joins as a sharded tenant
+        spanning machines.  Keyword arguments
+        (``max_machines``, ``autoscale_max_lanes``, ``time_scale``, …)
+        configure the :class:`~repro.runtime.cluster.Cluster`.
+        """
+        if len(models) != len(example_inputs):
+            raise ValueError(
+                f"{len(models)} models but {len(example_inputs)} example "
+                f"input sets"
+            )
+        if not models:
+            raise ValueError("compile_cluster needs at least one model")
+        if tenant_ids is not None and len(tenant_ids) != len(models):
+            raise ValueError(
+                f"{len(models)} models but {len(tenant_ids)} tenant ids"
+            )
+        kernels = [
+            self.compile(
+                fn, example, noise_sigma=noise_sigma, noise_seed=noise_seed
+            )
+            for fn, example in zip(models, example_inputs)
+        ]
+        return Cluster.from_kernels(
+            kernels,
+            tenant_ids=tenant_ids,
+            spec=self.spec,
+            tech=self.tech,
+            noise_sigma=noise_sigma,
+            noise_seed=noise_seed,
+            **cluster_kwargs,
         )
 
     def reference(

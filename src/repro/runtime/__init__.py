@@ -2,6 +2,9 @@
 multi-machine sessions, the replicated async serving layer, multi-tenant
 bank placement and host reference semantics."""
 
+from . import values
+from .backend import ClusterShutdown, ExecutionBackend, LaneStats
+from .cluster import Cluster
 from .executor import ExecutionError, Interpreter
 from .placement import (
     MultiTenantSession,
@@ -24,11 +27,14 @@ from .sharding import (
     plan_shard_count,
     shard_sizes,
 )
-from . import values
 
 __all__ = [
+    "Cluster",
+    "ClusterShutdown",
+    "ExecutionBackend",
     "ExecutionError",
     "Interpreter",
+    "LaneStats",
     "MultiTenantSession",
     "PlacementError",
     "PlacementPlan",

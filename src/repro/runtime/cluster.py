@@ -1,0 +1,1117 @@
+"""The :class:`Cluster` control plane: one fleet, a living tenant set.
+
+PR 4's :class:`~repro.runtime.placement.MultiTenantSession` packs a
+*static* tenant set onto shared machines at construction.  Real serving
+fleets are not static: kernels arrive, depart, burst and starve, and
+the ROADMAP's queued control-plane features — sharded tenants,
+priority/deadline dispatch, defragmenting re-placement, queue-depth
+autoscaling — all need one place to land.  This module is that place,
+composing the pieces the previous PRs built behind the
+:class:`~repro.runtime.backend.ExecutionBackend` protocol:
+
+* **dynamic lifecycle** — :meth:`Cluster.admit` programs a compiled
+  kernel onto the shared fleet at runtime (first-fit into free banks,
+  opening machines up to ``max_machines``); :meth:`Cluster.evict`
+  retires one, failing its still-pending futures with
+  :class:`~repro.runtime.backend.ClusterShutdown` and **defragmenting**
+  the survivors — banks are reclaimed by re-packing the remaining
+  placed tenants onto fresh machines (:func:`plan_placement`), and
+  because results depend only on a tenant's own compiled artifacts,
+  every surviving tenant's ``run_batch`` stays **bitwise identical**
+  across the re-placement.  When first-fit fails but a re-pack would
+  make room, :meth:`admit` defragments instead of refusing.
+* **sharded tenants** — a kernel whose bank demand exceeds one machine
+  (compiled with a ``shard_set``) joins the fleet as a
+  :class:`~repro.runtime.sharding.ShardedSession` spanning its own
+  machines, counted against ``max_machines`` alongside the shared ones.
+* **priority/deadline dispatch** — :meth:`Cluster.submit` takes
+  ``priority=`` (higher first) and ``deadline=`` (earliest-deadline-
+  first within a priority class); the engine's
+  :class:`~repro.runtime.serving.PriorityIntake` orders dispatch and
+  still never mixes tenants in a micro-batch.
+* **queue-depth autoscaling** — when a tenant's queued rows exceed
+  ``autoscale_backlog_rows`` per serving lane, the cluster clones the
+  tenant's session onto a fresh private machine (a new lane, up to
+  ``autoscale_max_lanes``); when the tenant's queue drains, scaled
+  lanes retire.  Scaled machines are burst capacity and are not
+  counted against ``max_machines``.
+
+Accounting follows the fleet through every membership change: each
+evict or defragmenting admit closes an **epoch** (the fleet report so
+far is archived), surviving unrebuilt lanes roll over without
+re-charging their programming cost, and :meth:`Cluster.report` sums the
+epochs (:func:`~repro.simulator.metrics.combine_epoch_reports`) — so
+writes are charged exactly once per actual programming pass, and a
+tenant admitted then evicted still shows up in the lifetime energy.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.arch.technology import FEFET_45NM, TechnologyModel
+from repro.simulator.machine import CamMachine
+from repro.simulator.metrics import (
+    ExecutionReport,
+    combine_epoch_reports,
+    combine_serial_reports,
+    merge_concurrent_reports,
+)
+
+from .backend import ClusterShutdown, ExecutionBackend, LaneStats, SessionError
+from .machineview import MachineGroupView
+from .placement import (
+    PlacementError,
+    TenantProgram,
+    plan_placement,
+    tenant_demand,
+)
+from .serving import PriorityIntake, ServingEngine
+from .session import QuerySession
+from .sharding import ShardedSession, ShardSet
+
+__all__ = ["Cluster", "ClusterShutdown"]
+
+
+class _LaneRecord:
+    """One of a tenant's serving lanes, as the control plane sees it.
+
+    ``backend`` is the live session (a colocated
+    :class:`~repro.runtime.session.QuerySession` for a placed tenant,
+    a :class:`~repro.runtime.sharding.ShardedSession` for a sharded
+    one, a private clone for a scaled lane), ``lock`` the mutual
+    exclusion unit it shares with other lanes of the same physical
+    machine, ``stats`` the current epoch's traffic.  ``generation``
+    bumps whenever a defragmentation swaps the backend, so an in-flight
+    serve that raced the swap retries against the fresh session.
+    """
+
+    __slots__ = (
+        "backend", "lock", "stats", "serve", "engine_lane", "scaled",
+        "machine_index", "bank_offset", "banks", "generation",
+    )
+
+    def __init__(self, backend, lock, stats, scaled=False,
+                 machine_index=None, bank_offset=0, banks=0):
+        self.backend = backend
+        self.lock = lock
+        self.stats = stats
+        self.serve = None
+        self.engine_lane = None
+        self.scaled = scaled
+        #: Shared-fleet machine index for a placed lane; None = private.
+        self.machine_index = machine_index
+        self.bank_offset = bank_offset
+        self.banks = banks
+        self.generation = 0
+
+    @property
+    def last_report(self):
+        """The *current* backend's last batch report — the record is
+        what the engine lane holds, so pacing keeps following the live
+        session across defragmentation swaps."""
+        return self.backend.last_report
+
+
+class _Tenant:
+    """One live tenant: its compiled source, lanes and accounting."""
+
+    __slots__ = (
+        "tenant_id", "kind", "program", "shard_set", "func_name", "width",
+        "lanes", "retired_lanes", "epoch_reports", "scaling",
+    )
+
+    def __init__(self, tenant_id, kind, program, shard_set, func_name,
+                 width):
+        self.tenant_id = tenant_id
+        self.kind = kind              # "placed" | "sharded"
+        self.program = program        # TenantProgram (placed)
+        self.shard_set = shard_set    # ShardSet (sharded)
+        self.func_name = func_name
+        self.width = width
+        self.lanes: List[_LaneRecord] = []
+        #: Final reports of lanes retired mid-epoch (autoscale-down).
+        self.retired_lanes: List[ExecutionReport] = []
+        #: This tenant's closed accounting epochs.
+        self.epoch_reports: List[ExecutionReport] = []
+        self.scaling = False
+
+
+class Cluster(ExecutionBackend, MachineGroupView):
+    """A shared CAM fleet with a dynamic tenant set and one dispatcher.
+
+    Usage::
+
+        cluster = Cluster(spec)
+        cluster.admit(kernel_a, tenant_id="a")
+        cluster.admit(kernel_b, tenant_id="b")
+        cluster.run_batch(queries, tenant="a")          # synchronous
+        future = cluster.submit(q, tenant="b",          # async, urgent
+                                priority=1, deadline=0.005)
+        cluster.evict("a")        # defragments; "b" results unchanged
+        cluster.shutdown()
+
+    ``admit`` accepts a :class:`~repro.compiler.CompiledKernel` (from
+    :meth:`~repro.compiler.C4CAMCompiler.compile` — sharded kernels
+    span machines) or a prepared
+    :class:`~repro.runtime.placement.TenantProgram`.  The cluster is a
+    context manager (clean exit drains, exceptional exit aborts) and
+    implements the :class:`~repro.runtime.backend.ExecutionBackend`
+    protocol, so it can itself be replicated or fronted like any other
+    backend.
+    """
+
+    _group_noun = "cluster"
+
+    def __init__(
+        self,
+        spec: ArchSpec,
+        tech: TechnologyModel = FEFET_45NM,
+        max_machines: Optional[int] = None,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        time_scale: float = 0.0,
+        autoscale_max_lanes: int = 1,
+        autoscale_backlog_rows: Optional[int] = None,
+        noise_sigma: float = 0.0,
+        noise_seed=0,
+    ):
+        if max_machines is not None and max_machines < 1:
+            raise ValueError("max_machines must be >= 1 (or None for auto)")
+        if autoscale_max_lanes < 1:
+            raise ValueError("autoscale_max_lanes must be >= 1")
+        self.spec = spec
+        self.tech = tech
+        self.max_machines = max_machines
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.time_scale = time_scale
+        self.autoscale_max_lanes = autoscale_max_lanes
+        self.autoscale_backlog_rows = (
+            2 * max_batch if autoscale_backlog_rows is None
+            else autoscale_backlog_rows
+        )
+        self.noise_sigma = float(noise_sigma)
+        self._noise_seq = (
+            noise_seed
+            if isinstance(noise_seed, np.random.SeedSequence)
+            else np.random.SeedSequence(noise_seed)
+        )
+        #: Re-entrant: admission can trigger a defragmentation which
+        #: re-enters placement helpers.
+        self._admit_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._shared_machines: List[CamMachine] = []
+        self._shared_locks: List[threading.Lock] = []
+        self._tenants: Dict[str, _Tenant] = {}
+        self._admit_order: List[str] = []
+        self._closed_epochs: List[ExecutionReport] = []
+        self._engine: Optional[ServingEngine] = None
+        self._closed = False
+        self._admit_counter = 0
+        self.defrag_count = 0
+        self.autoscale_events: List[dict] = []
+        self.last_report: Optional[ExecutionReport] = None
+        self.batches_run = 0
+
+    @classmethod
+    def from_kernels(
+        cls,
+        kernels: Sequence,
+        tenant_ids: Optional[Sequence[str]] = None,
+        **kwargs,
+    ) -> "Cluster":
+        """A cluster pre-admitting ``kernels`` (spec/tech from the
+        first); keyword arguments configure the :class:`Cluster`."""
+        if not kernels:
+            raise ValueError("from_kernels needs at least one kernel")
+        if tenant_ids is not None and len(tenant_ids) != len(kernels):
+            raise ValueError(
+                f"{len(kernels)} kernels but {len(tenant_ids)} tenant ids"
+            )
+        kwargs.setdefault("spec", kernels[0].spec)
+        kwargs.setdefault("tech", kernels[0].tech)
+        cluster = cls(**kwargs)
+        for index, kernel in enumerate(kernels):
+            cluster.admit(
+                kernel,
+                tenant_id=None if tenant_ids is None else tenant_ids[index],
+            )
+        return cluster
+
+    # ------------------------------------------------------------ topology
+    @property
+    def machines(self) -> List[CamMachine]:
+        """Every physical machine: the shared fleet, then each private
+        (sharded / autoscaled) lane's machines in admission order."""
+        with self._admit_lock:
+            out = list(self._shared_machines)
+            for tid in self._admit_order:
+                for record in self._tenants[tid].lanes:
+                    if record.machine_index is not None:
+                        continue
+                    group = getattr(record.backend, "machines", None)
+                    if group is not None:
+                        out.extend(group)
+                    else:
+                        out.append(record.backend.machine)
+            return out
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        with self._admit_lock:
+            return list(self._admit_order)
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenant_ids)
+
+    def tenant_lanes(self, tenant_id: str) -> int:
+        """The tenant's live serving lane count (autoscaler observable)."""
+        with self._admit_lock:
+            return len(self._require(tenant_id).lanes)
+
+    def bank_spans(self) -> Dict[str, tuple]:
+        """Placed tenants' ``(machine_index, first_bank, banks)`` spans —
+        the invariant surface the defragmentation tests check."""
+        with self._admit_lock:
+            return {
+                tid: (
+                    t.lanes[0].machine_index,
+                    t.lanes[0].bank_offset,
+                    t.lanes[0].banks,
+                )
+                for tid in self._admit_order
+                for t in [self._tenants[tid]]
+                if t.kind == "placed"
+            }
+
+    def describe(self) -> str:
+        """A human-readable map of the fleet (one line per tenant)."""
+        with self._admit_lock:
+            cap = (
+                "unbounded" if self.spec.banks is None
+                else f"{self.spec.banks} banks"
+            )
+            lines = [
+                f"{len(self._admit_order)} tenant(s) on "
+                f"{len(self._shared_machines)} shared machine(s) "
+                f"({cap} each), {self.defrag_count} defrag(s):"
+            ]
+            for tid in self._admit_order:
+                t = self._tenants[tid]
+                primary = t.lanes[0] if t.lanes else None
+                if t.kind == "placed" and primary is not None:
+                    where = (
+                        f"machine {primary.machine_index} banks "
+                        f"[{primary.bank_offset},"
+                        f"{primary.bank_offset + primary.banks})"
+                    )
+                else:
+                    where = (
+                        f"{t.shard_set.num_shards} private shard machine(s)"
+                    )
+                lines.append(
+                    f"  {tid!r}: {where}, {len(t.lanes)} lane(s)"
+                )
+            return "\n".join(lines)
+
+    # ------------------------------------------------------- protocol bits
+    def tenant_widths(self) -> Dict[str, int]:
+        with self._admit_lock:
+            return {
+                tid: self._tenants[tid].width for tid in self._admit_order
+            }
+
+    def query_width(self, tenant: Optional[str] = None) -> int:
+        return self._require(self._resolve_tenant(tenant)).width
+
+    # ------------------------------------------------------------ admission
+    def admit(self, kernel, tenant_id: Optional[str] = None,
+              lanes: Optional[int] = None) -> str:
+        """Place and program one compiled kernel at runtime.
+
+        ``kernel`` is a :class:`~repro.compiler.CompiledKernel` (a
+        sharded one spans machines) or a
+        :class:`~repro.runtime.placement.TenantProgram`.  ``lanes``
+        requests that many initial serving lanes (defaults to the
+        kernel's ``num_replicas``; extra lanes are private clones).
+        Returns the tenant id (auto-generated when not given).  Raises
+        :class:`~repro.runtime.placement.PlacementError` when the fleet
+        cannot hold the tenant even after defragmentation.
+        """
+        with self._admit_lock:
+            if self._closed:
+                raise SessionError("the cluster is shut down; no admits")
+            tid = tenant_id
+            if tid is None:
+                while True:
+                    tid = f"tenant{self._admit_counter}"
+                    self._admit_counter += 1
+                    if tid not in self._tenants:
+                        break
+            if tid in self._tenants:
+                raise SessionError(f"duplicate tenant id {tid!r}")
+            if lanes is None:
+                lanes = max(1, getattr(kernel, "num_replicas", 1))
+            tenant = self._build_tenant(tid, kernel)
+            if tenant.kind == "sharded":
+                self._admit_sharded(tenant)
+            else:
+                self._admit_placed(tenant)
+            self._tenants[tid] = tenant
+            self._admit_order.append(tid)
+            engine = self._engine
+            if engine is not None:
+                engine.register_tenant(tid, tenant.width)
+                for record in tenant.lanes:
+                    # The record itself is the lane backend: it follows
+                    # the live session across defragmentation swaps.
+                    record.engine_lane = engine.add_lane(
+                        record, tenant=tid, serve=record.serve
+                    )
+        # Extra initial lanes clone outside the control-plane lock —
+        # programming machines is slow and must not stall concurrent
+        # submits/evicts.
+        for _ in range(lanes - 1):
+            self._add_scaled_lane(tid, reason="admit")
+        return tid
+
+    def _build_tenant(self, tid: str, kernel) -> _Tenant:
+        """Normalize a kernel/program into a tenant record (unplaced)."""
+        if isinstance(kernel, TenantProgram):
+            program = TenantProgram(
+                tenant_id=tid,
+                module=kernel.module,
+                parameters=list(kernel.parameters),
+                program=kernel.program,
+                func_name=kernel.func_name,
+            )
+            return _Tenant(
+                tid, "placed", program, None, program.func_name,
+                program.plan.features,
+            )
+        spec = getattr(kernel, "spec", None)
+        if spec is not None and spec != self.spec:
+            raise SessionError(
+                f"kernel compiled for a different ArchSpec than the "
+                f"cluster's ({spec!r} vs {self.spec!r})"
+            )
+        shard_set = getattr(kernel, "shard_set", None)
+        if shard_set is not None:
+            return _Tenant(
+                tid, "sharded", None, shard_set,
+                getattr(kernel, "func_name", "forward"),
+                shard_set.features,
+            )
+        programs = getattr(kernel, "query_programs", None)
+        if not programs or len(programs) != 1 or not getattr(
+            kernel, "uses_machine", False
+        ):
+            raise SessionError(
+                f"tenant {tid!r} is not admissible: cluster tenants must "
+                "be machine-lowered kernels with exactly one similarity "
+                "program returning its (values, indices) directly"
+            )
+        program = TenantProgram(
+            tenant_id=tid,
+            module=kernel.module,
+            parameters=list(kernel.parameters),
+            program=programs[0],
+            func_name=kernel.func_name,
+        )
+        return _Tenant(
+            tid, "placed", program, None, kernel.func_name,
+            program.plan.features,
+        )
+
+    def _machines_in_use(self) -> int:
+        """Placed fleet machines: shared plus sharded tenants' privates
+        (autoscaled burst lanes are not counted)."""
+        private = sum(
+            self._tenants[tid].shard_set.num_shards
+            for tid in self._admit_order
+            if self._tenants[tid].kind == "sharded"
+        )
+        return len(self._shared_machines) + private
+
+    def _shared_budget(self) -> Optional[int]:
+        """How many shared machines plan_placement may use."""
+        if self.max_machines is None:
+            return None
+        private = self._machines_in_use() - len(self._shared_machines)
+        return max(1, self.max_machines - private)
+
+    def _admit_sharded(self, tenant: _Tenant) -> None:
+        needed = tenant.shard_set.num_shards
+        if self.max_machines is not None:
+            if self._machines_in_use() + needed > self.max_machines:
+                # Defragmenting the shared fleet may shrink it enough.
+                self._defragment(reason="admit")
+            if self._machines_in_use() + needed > self.max_machines:
+                raise PlacementError(
+                    f"tenant {tenant.tenant_id!r} needs {needed} "
+                    f"machine(s) but the fleet of "
+                    f"{self._machines_in_use()} is capped at "
+                    f"{self.max_machines}",
+                    self._live_demands(),
+                    self.spec,
+                    tenant_id=tenant.tenant_id,
+                )
+        backend = ShardedSession(
+            tenant.shard_set,
+            self.spec,
+            self.tech,
+            func_name=tenant.func_name,
+            noise_sigma=self.noise_sigma,
+            noise_seed=self._noise_seq.spawn(1)[0],
+        )
+        record = _LaneRecord(
+            backend, threading.Lock(), LaneStats(backend),
+            machine_index=None,
+        )
+        record.serve = self._make_serve(record)
+        tenant.lanes.append(record)
+
+    def _live_demands(self, extra: Optional[_Tenant] = None):
+        demands = [
+            tenant_demand(tid, self._tenants[tid].program.plan, self.spec)
+            for tid in self._admit_order
+            if self._tenants[tid].kind == "placed"
+        ]
+        if extra is not None:
+            demands.append(
+                tenant_demand(extra.tenant_id, extra.program.plan, self.spec)
+            )
+        return demands
+
+    def _admit_placed(self, tenant: _Tenant) -> None:
+        demand = tenant_demand(tenant.tenant_id, tenant.program.plan,
+                               self.spec)
+        if self.spec.banks is not None and demand.banks > self.spec.banks:
+            raise PlacementError(
+                f"tenant {tenant.tenant_id!r} alone needs {demand.banks} "
+                f"bank(s) but one machine caps at {self.spec.banks}; "
+                f"compile it sharded (num_shards=None auto-shards) so it "
+                f"can span machines",
+                self._live_demands(extra=tenant),
+                self.spec,
+                tenant_id=tenant.tenant_id,
+            )
+        index = self._first_fit(demand.banks)
+        if index is None and self._may_open_shared():
+            self._shared_machines.append(self._fresh_machine())
+            self._shared_locks.append(threading.Lock())
+            index = len(self._shared_machines) - 1
+        if index is not None:
+            tenant.lanes.append(
+                self._program_placed(tenant, index)
+            )
+            return
+        # First fit failed on the fragmented fleet: a re-pack including
+        # the newcomer may still hold everyone (raises PlacementError —
+        # with the full per-tenant breakdown — when it cannot).
+        plan = plan_placement(
+            self._live_demands(extra=tenant), self.spec,
+            self._shared_budget(),
+        )
+        self._defragment(reason="admit", plan=plan, newcomer=tenant)
+
+    def _fresh_machine(self) -> CamMachine:
+        return CamMachine(
+            self.spec, self.tech, noise_sigma=self.noise_sigma,
+            noise_seed=self._noise_seq.spawn(1)[0],
+        )
+
+    def _first_fit(self, banks: int) -> Optional[int]:
+        if self.spec.banks is None:
+            return 0 if self._shared_machines else None
+        for index, machine in enumerate(self._shared_machines):
+            if self.spec.banks - machine.banks_used >= banks:
+                return index
+        return None
+
+    def _may_open_shared(self) -> bool:
+        if self.spec.banks is None:
+            return not self._shared_machines
+        if self.max_machines is None:
+            return True
+        return self._machines_in_use() < self.max_machines
+
+    def _program_placed(
+        self, tenant: _Tenant, index: int,
+        expect_offset: Optional[int] = None,
+    ) -> _LaneRecord:
+        """Program one placed tenant at machine ``index``'s fill level."""
+        machine = self._shared_machines[index]
+        offset = machine.banks_used
+        if expect_offset is not None and offset != expect_offset:
+            raise SessionError(
+                f"placement drift: tenant {tenant.tenant_id!r} planned "
+                f"at bank {expect_offset} of machine {index} but the "
+                f"machine holds {offset} banks"
+            )
+        session = QuerySession(
+            tenant.program.module,
+            self.spec,
+            self.tech,
+            tenant.program.parameters,
+            tenant.program.program,
+            func_name=tenant.func_name,
+            noise_sigma=self.noise_sigma,
+            noise_seed=self._noise_seq.spawn(1)[0],
+            machine=machine,
+        )
+        record = _LaneRecord(
+            session, self._shared_locks[index], LaneStats(session),
+            machine_index=index, bank_offset=offset,
+            banks=machine.banks_used - offset,
+        )
+        record.serve = self._make_serve(record)
+        return record
+
+    # -------------------------------------------------------- defragmenting
+    def _defragment(self, reason: str, plan=None,
+                    newcomer: Optional[_Tenant] = None,
+                    extra_reports=()) -> None:
+        """Close the accounting epoch and re-pack the placed tenants.
+
+        Runs with every shared-machine lock held, so in-flight batches
+        drain first.  Surviving placed tenants are re-programmed onto
+        fresh machines per ``plan`` (default: a fresh
+        :func:`plan_placement` over the live set) — their compiled
+        artifacts are untouched, so results stay bitwise identical —
+        and ``newcomer``, when given, is placed alongside them.
+        Private (sharded / scaled) lanes keep their machines and roll
+        their accounting over without re-charging setup.
+        ``extra_reports`` (an evicted tenant's final lane reports) are
+        folded into the closing epoch.
+        """
+        del reason  # for the call sites' readability only
+        if plan is None:
+            placed = any(
+                self._tenants[tid].kind == "placed"
+                for tid in self._admit_order
+            )
+            if placed or newcomer is not None:
+                plan = plan_placement(
+                    self._live_demands(extra=newcomer), self.spec,
+                    self._shared_budget(),
+                )
+        locks = list(self._shared_locks)
+        for lock in locks:
+            lock.acquire()
+        try:
+            self._close_epoch(extra_reports)
+            if plan is not None:
+                self._shared_machines = [
+                    self._fresh_machine() for _ in range(plan.num_machines)
+                ]
+                self._shared_locks = [
+                    threading.Lock() for _ in self._shared_machines
+                ]
+                for assignment in plan.assignments:
+                    if (newcomer is not None
+                            and assignment.tenant_id == newcomer.tenant_id):
+                        tenant = newcomer
+                    else:
+                        tenant = self._tenants[assignment.tenant_id]
+                    record = self._program_placed(
+                        tenant, assignment.machine_index,
+                        expect_offset=assignment.bank_offset,
+                    )
+                    if tenant is newcomer and not tenant.lanes:
+                        tenant.lanes.append(record)
+                    else:
+                        primary = tenant.lanes[0]
+                        with self._stats_lock:
+                            primary.backend = record.backend
+                            primary.lock = record.lock
+                            primary.stats = record.stats
+                            primary.machine_index = record.machine_index
+                            primary.bank_offset = record.bank_offset
+                            primary.banks = record.banks
+                            primary.generation += 1
+            else:
+                self._shared_machines, self._shared_locks = [], []
+            self.defrag_count += 1
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    def _close_epoch(self, extra_reports=()) -> None:
+        """Archive the fleet-so-far and restart every lane's accounting.
+
+        ``extra_reports`` carries lanes that are leaving the fleet with
+        this epoch (an evicted tenant's traffic) so the lifetime report
+        keeps counting them.  Private lanes that survive keep their
+        machines, so their fresh stats do not re-charge setup; placed
+        lanes are about to be re-programmed and get fully-charged stats
+        from the rebuild.
+        """
+        with self._stats_lock:
+            epoch = self._epoch_report_unlocked(list(extra_reports))
+            if epoch is not None:
+                self._closed_epochs.append(epoch)
+            for tid in self._admit_order:
+                tenant = self._tenants[tid]
+                parts = [
+                    record.stats.report() for record in tenant.lanes
+                ] + tenant.retired_lanes
+                if parts:
+                    tenant.epoch_reports.append(
+                        merge_concurrent_reports(parts)
+                    )
+                tenant.retired_lanes = []
+                for record in tenant.lanes:
+                    # Surviving machines don't re-program, so the fresh
+                    # epoch charges no setup; a defrag rebuild replaces
+                    # the placed lanes' stats with fully-charged ones.
+                    record.stats = LaneStats(
+                        record.backend, charge_setup=False
+                    )
+
+    def _epoch_report_unlocked(
+        self, extra_reports: Optional[List[ExecutionReport]] = None
+    ) -> Optional[ExecutionReport]:
+        """The current epoch's fleet report; caller holds _stats_lock."""
+        by_machine: Dict[int, List[ExecutionReport]] = {}
+        privates: List[ExecutionReport] = list(extra_reports or [])
+        retired: List[ExecutionReport] = []
+        for tid in self._admit_order:
+            tenant = self._tenants[tid]
+            for record in tenant.lanes:
+                if record.machine_index is None:
+                    privates.append(record.stats.report())
+                else:
+                    by_machine.setdefault(record.machine_index, []).append(
+                        record.stats.report()
+                    )
+            retired.extend(tenant.retired_lanes)
+        parts = [
+            combine_serial_reports(group) for group in by_machine.values()
+        ] + privates + retired
+        if not parts:
+            return None
+        return merge_concurrent_reports(parts)
+
+    # -------------------------------------------------------------- evict
+    def evict(self, tenant_id: str, defragment: bool = True) -> None:
+        """Retire one tenant at runtime.
+
+        The tenant's queued (undispatched) requests and its lanes'
+        already-dispatched-but-unserved batches fail with
+        :class:`~repro.runtime.backend.ClusterShutdown` naming the
+        tenant; in-flight batches finish normally.  With
+        ``defragment=True`` (default) the surviving placed tenants are
+        re-packed onto fresh machines, reclaiming the evicted banks —
+        their results stay bitwise identical.  ``defragment=False``
+        leaves the survivors in place (the evicted banks stay dead
+        until the next defragmentation).
+        """
+        with self._admit_lock:
+            tenant = self._require(tenant_id)
+            engine = self._engine
+            error = ClusterShutdown(
+                f"tenant {tenant_id!r} was evicted before this request ran"
+            )
+            if engine is not None:
+                engine.drop_tenant(tenant_id)
+                engine.drain_tenant(tenant_id, error)
+                for record in tenant.lanes:
+                    if record.engine_lane is not None:
+                        engine.remove_lane(record.engine_lane, error=error)
+            # Drain in-flight work on the evicted tenant's lanes (its
+            # engine lanes no longer accept batches), then capture its
+            # final traffic for the closing epoch.
+            for record in tenant.lanes:
+                with record.lock:
+                    pass
+            with self._stats_lock:
+                final = [
+                    record.stats.report() for record in tenant.lanes
+                ] + tenant.retired_lanes
+            self._del_tenant(tenant_id)
+            if tenant.kind == "placed" and defragment:
+                self._defragment(reason="evict", extra_reports=final)
+            else:
+                self._close_epoch(extra_reports=final)
+
+    def _del_tenant(self, tenant_id: str) -> None:
+        del self._tenants[tenant_id]
+        self._admit_order.remove(tenant_id)
+
+    def _require(self, tenant_id: str) -> _Tenant:
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise SessionError(
+                f"no tenant {tenant_id!r} on this cluster; tenants: "
+                f"{sorted(self._tenants)}"
+            )
+        return tenant
+
+    def _resolve_tenant(self, tenant: Optional[str]) -> str:
+        if tenant is not None:
+            return tenant
+        with self._admit_lock:
+            if len(self._admit_order) == 1:
+                return self._admit_order[0]
+        raise SessionError(
+            "this cluster serves several tenants; name one (tenants: "
+            f"{sorted(self._tenants)})"
+        )
+
+    # ------------------------------------------------------------- serving
+    def _make_serve(self, record: _LaneRecord):
+        """The lane's ``(queries, tenant)`` callable: machine-locked,
+        defrag-safe (retries when a re-placement swapped the backend
+        mid-wait), folding stats into the current epoch."""
+        def serve(queries, _tenant):
+            while True:
+                generation = record.generation
+                backend, lock = record.backend, record.lock
+                with lock:
+                    if record.generation != generation:
+                        continue  # defragged while waiting: rebind
+                    outputs = backend.run_batch(queries)
+                    report = backend.last_report
+                break
+            with self._stats_lock:
+                record.stats.add(report)
+                self.last_report = report
+                self.batches_run += 1
+            return outputs
+
+        return serve
+
+    def run_batch(self, queries, tenant: Optional[str] = None):
+        """Serve one ``B×D`` batch synchronously on the tenant's
+        primary lane; bitwise identical (noise disabled) to the
+        tenant's kernel compiled and served alone.
+
+        The primary lane is the one lane the autoscaler never retires,
+        so a synchronous batch can never race a scale-down into
+        orphaned accounting; scaled lanes serve the async path only.
+        """
+        if isinstance(queries, str):  # (tenant_id, queries) convenience
+            queries, tenant = tenant, queries
+        tid = self._resolve_tenant(tenant)
+        with self._admit_lock:
+            record = self._require(tid).lanes[0]
+        return record.serve(np.asarray(queries, dtype=np.float64), tid)
+
+    def _ensure_engine(self) -> ServingEngine:
+        with self._admit_lock:
+            if self._closed:
+                raise SessionError(
+                    "the cluster is shut down; no new requests"
+                )
+            if self._engine is None:
+                engine = ServingEngine(
+                    None,
+                    max_batch=self.max_batch,
+                    max_wait=self.max_wait,
+                    time_scale=self.time_scale,
+                    intake=PriorityIntake(),
+                )
+                engine.on_batch_done = self._on_batch_done
+                for tid in self._admit_order:
+                    tenant = self._tenants[tid]
+                    engine.register_tenant(tid, tenant.width)
+                    for record in tenant.lanes:
+                        record.engine_lane = engine.add_lane(
+                            record, tenant=tid, serve=record.serve
+                        )
+                self._engine = engine
+            return self._engine
+
+    def submit(
+        self,
+        queries: np.ndarray,
+        tenant: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ):
+        """Enqueue one request; returns its future immediately.
+
+        ``priority`` (higher = more urgent) picks the dispatch class;
+        ``deadline`` (seconds from now) orders within the class —
+        earliest deadline first.  Micro-batches coalesce same-tenant
+        requests only.  The future fails with
+        :class:`~repro.runtime.backend.ClusterShutdown` if the tenant
+        is evicted (or the cluster shut down) before it is served.
+        """
+        tid = self._resolve_tenant(tenant)
+        future = self._ensure_engine().submit(
+            queries, tenant=tid, priority=priority, deadline=deadline
+        )
+        self._maybe_scale_up(tid)
+        return future
+
+    def pending_rows(self, tenant: Optional[str] = None) -> int:
+        """Queued, not-yet-dispatched rows (the autoscaler's signal)."""
+        engine = self._engine
+        return 0 if engine is None else engine.pending_rows(tenant)
+
+    # ---------------------------------------------------------- autoscaler
+    def _maybe_scale_up(self, tenant_id: str) -> None:
+        with self._admit_lock:
+            tenant = self._tenants.get(tenant_id)
+            engine = self._engine
+            if tenant is None or engine is None or tenant.scaling:
+                return
+            if len(tenant.lanes) >= self.autoscale_max_lanes:
+                return
+            backlog = engine.pending_rows(tenant_id)
+            if backlog <= self.autoscale_backlog_rows * len(tenant.lanes):
+                return
+            tenant.scaling = True
+        worker = threading.Thread(
+            target=self._scale_up, args=(tenant_id,), daemon=True,
+            name=f"cluster-scale-{tenant_id}",
+        )
+        worker.start()
+
+    def _scale_up(self, tenant_id: str) -> None:
+        try:
+            self._add_scaled_lane(tenant_id, reason="queue-depth")
+        finally:
+            with self._admit_lock:
+                tenant = self._tenants.get(tenant_id)
+                if tenant is not None:
+                    tenant.scaling = False
+
+    def _add_scaled_lane(self, tenant_id: str, reason: str) -> None:
+        """Clone the tenant's primary session onto a private machine and
+        attach it as a new serving lane."""
+        with self._admit_lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                return
+            base = tenant.lanes[0].backend
+        # The clone programs a fresh machine — slow; done outside the
+        # control-plane lock so admits/evicts/submits keep flowing.
+        backend = base.clone()
+        with self._admit_lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None or self._closed:
+                return  # evicted while the clone programmed: discard
+            record = _LaneRecord(
+                backend, threading.Lock(), LaneStats(backend), scaled=True,
+                machine_index=None,
+            )
+            record.serve = self._make_serve(record)
+            tenant.lanes.append(record)
+            if self._engine is not None:
+                record.engine_lane = self._engine.add_lane(
+                    record, tenant=tenant_id, serve=record.serve
+                )
+            self.autoscale_events.append({
+                "tenant": tenant_id,
+                "action": "scale-up",
+                "reason": reason,
+                "lanes": len(tenant.lanes),
+            })
+
+    def _on_batch_done(self, tenant_id: Optional[str]) -> None:
+        """Engine completion hook: shrink an idle scaled lane when the
+        tenant's queue has fully drained."""
+        if tenant_id is None:
+            return
+        with self._admit_lock:
+            tenant = self._tenants.get(tenant_id)
+            engine = self._engine
+            if tenant is None or engine is None:
+                return
+            if len(tenant.lanes) <= 1:
+                return
+            if engine.pending_rows(tenant_id) > 0:
+                return
+            for record in list(tenant.lanes[1:]):
+                lane = record.engine_lane
+                if not record.scaled or lane is None:
+                    continue
+                if not lane.alive or lane.outstanding > 0:
+                    continue
+                engine.remove_lane(lane)
+                tenant.lanes.remove(record)
+                with self._stats_lock:
+                    tenant.retired_lanes.append(record.stats.report())
+                self.autoscale_events.append({
+                    "tenant": tenant_id,
+                    "action": "scale-down",
+                    "lanes": len(tenant.lanes),
+                })
+                break
+
+    # -------------------------------------------------------------- report
+    def tenant_report(self, tenant_id: str) -> ExecutionReport:
+        """One tenant's lifetime accounting: its live lanes (merged
+        concurrently) plus its closed epochs (summed sequentially)."""
+        with self._admit_lock:
+            tenant = self._require(tenant_id)
+            with self._stats_lock:
+                parts = [
+                    record.stats.report() for record in tenant.lanes
+                ] + tenant.retired_lanes
+                epochs = list(tenant.epoch_reports)
+        if parts:
+            epochs.append(merge_concurrent_reports(parts))
+        if not epochs:
+            return ExecutionReport(queries=0, spec=self.spec)
+        return combine_epoch_reports(epochs)
+
+    def report(self) -> ExecutionReport:
+        """The fleet's lifetime report across every membership epoch.
+
+        Within an epoch, tenants of one shared machine combine serially
+        and machines concurrently (exactly the PR 4 fleet semantics);
+        epochs then sum (:func:`combine_epoch_reports`) — writes are
+        charged once per actual programming pass, evicted tenants'
+        traffic stays counted, and allocation reflects the peak fleet.
+        """
+        with self._admit_lock:
+            with self._stats_lock:
+                current = self._epoch_report_unlocked()
+            epochs = list(self._closed_epochs)
+        if current is not None:
+            epochs.append(current)
+        if not epochs:
+            return ExecutionReport(queries=0, spec=self.spec)
+        return combine_epoch_reports(epochs)
+
+    def setup_report(self) -> ExecutionReport:
+        """Zero-query baseline of the current fleet (live lanes only)."""
+        with self._admit_lock:
+            bases = [
+                record.backend.setup_report()
+                for tid in self._admit_order
+                for record in self._tenants[tid].lanes
+            ]
+        if not bases:
+            return ExecutionReport(queries=0, spec=self.spec)
+        return merge_concurrent_reports(bases)
+
+    # ------------------------------------------------------------ lifecycle
+    def clone(self, noise_seed=None) -> "Cluster":
+        """An independent cluster re-admitting every live tenant (same
+        compiled artifacts, fresh machines; accounting starts over)."""
+        with self._admit_lock:
+            seed = (
+                self._noise_seq.spawn(1)[0] if noise_seed is None
+                else noise_seed
+            )
+            other = Cluster(
+                self.spec,
+                self.tech,
+                max_machines=self.max_machines,
+                max_batch=self.max_batch,
+                max_wait=self.max_wait,
+                time_scale=self.time_scale,
+                autoscale_max_lanes=self.autoscale_max_lanes,
+                autoscale_backlog_rows=self.autoscale_backlog_rows,
+                noise_sigma=self.noise_sigma,
+                noise_seed=seed,
+            )
+            sources = [
+                (tid, self._tenants[tid]) for tid in self._admit_order
+            ]
+        for tid, tenant in sources:
+            if tenant.kind == "placed":
+                other.admit(tenant.program, tenant_id=tid)
+            else:
+                shim = _ShardedSource(tenant.shard_set, self.spec,
+                                      self.tech, tenant.func_name)
+                other.admit(shim, tenant_id=tid)
+        return other
+
+    def reset(self) -> None:
+        """Re-place and re-program every tenant on fresh machines and
+        restart all accounting (epochs, autoscale history, lanes).
+        Pending submitted futures fail with
+        :class:`~repro.runtime.backend.ClusterShutdown`."""
+        with self._admit_lock:
+            sources = [(tid, self._tenants[tid])
+                       for tid in self._admit_order]
+            engine = self._engine
+            self._engine = None
+            self._shared_machines = []
+            self._shared_locks = []
+            self._tenants = {}
+            self._admit_order = []
+            self._closed_epochs = []
+            self.autoscale_events = []
+            self.defrag_count = 0
+            self.last_report = None
+            self.batches_run = 0
+        # Outside the control-plane lock: the engine's workers may be
+        # blocked on it in their completion callback, and shutdown joins
+        # them.
+        if engine is not None:
+            engine.shutdown(abort=True)
+        for tid, tenant in sources:
+            if tenant.kind == "placed":
+                self.admit(tenant.program, tenant_id=tid)
+            else:
+                shim = _ShardedSource(tenant.shard_set, self.spec,
+                                      self.tech, tenant.func_name)
+                self.admit(shim, tenant_id=tid)
+
+    def shutdown(self, wait: bool = True, abort: bool = False) -> None:
+        """Stop serving.  ``wait=True`` drains every submitted future;
+        ``abort=True`` fails still-pending futures with
+        :class:`~repro.runtime.backend.ClusterShutdown`.  Idempotent;
+        the cluster refuses admits and submits afterwards."""
+        with self._admit_lock:
+            self._closed = True
+            engine = self._engine
+        if engine is not None:
+            engine.shutdown(wait=wait, abort=abort)
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None, abort=exc_type is not None)
+
+    def stats(self) -> dict:
+        """Control-plane counters: engine routing plus lifecycle."""
+        engine = self._engine
+        base = engine.stats() if engine is not None else {
+            "requests_submitted": 0,
+            "batches_dispatched": 0,
+            "rows_dispatched": [],
+            "outstanding_rows": 0,
+        }
+        with self._admit_lock:
+            base.update({
+                "tenants": list(self._admit_order),
+                "lanes": {
+                    tid: len(self._tenants[tid].lanes)
+                    for tid in self._admit_order
+                },
+                "defrag_count": self.defrag_count,
+                "autoscale_events": list(self.autoscale_events),
+                "batches_run": self.batches_run,
+            })
+        return base
+
+
+class _ShardedSource:
+    """A minimal kernel-shaped carrier for re-admitting a shard set
+    (clone/reset paths) without recompiling anything."""
+
+    def __init__(self, shard_set: ShardSet, spec, tech, func_name):
+        self.shard_set = shard_set
+        self.spec = spec
+        self.tech = tech
+        self.func_name = func_name
+        self.num_replicas = 1

@@ -58,9 +58,9 @@ from repro.simulator.metrics import (
 )
 from repro.transforms.partitioning import CapacityError, PartitionPlan
 
+from .backend import ExecutionBackend, LaneStats, SessionError
 from .machineview import MachineGroupView
-from .serving import LaneStats
-from .session import QueryProgram, QuerySession, SessionError
+from .session import QueryProgram, QuerySession
 
 __all__ = [
     "MultiTenantSession",
@@ -334,7 +334,7 @@ class TenantProgram:
 
 
 # ---------------------------------------------------------------- session
-class MultiTenantSession(MachineGroupView):
+class MultiTenantSession(ExecutionBackend, MachineGroupView):
     """K compiled kernels co-resident on one shared machine fleet.
 
     Construction places the tenants (:func:`plan_placement`, unless an
@@ -515,6 +515,22 @@ class MultiTenantSession(MachineGroupView):
             for tid, tenant in self.tenants.items()
         }
 
+    # ------------------------------------------------------- protocol bits
+    def tenant_widths(self) -> Dict[str, int]:
+        """Per-tenant query widths (multi-tenant backend discriminator)."""
+        return self.tenant_features
+
+    def query_width(self, tenant: Optional[str] = None) -> int:
+        """The feature dimension ``tenant``'s queries must have; a
+        multi-tenant backend needs the tenant named."""
+        if tenant is None:
+            raise SessionError(
+                "this backend serves a multi-tenant fleet; name the "
+                f"tenant (one of {sorted(self.tenants)})"
+            )
+        self.session_of(tenant)  # validate the id
+        return self.tenants[tenant].plan.features
+
     def session_of(self, tenant_id: str) -> QuerySession:
         """The live session serving ``tenant_id`` (KeyError-safe)."""
         try:
@@ -530,15 +546,26 @@ class MultiTenantSession(MachineGroupView):
     _group_noun = "fleet"
 
     # ------------------------------------------------------------- queries
-    def run_batch(self, tenant_id: str, queries: np.ndarray):
-        """Serve one ``B×D`` batch for ``tenant_id`` on the shared fleet.
+    def run_batch(self, queries, tenant: Optional[str] = None):
+        """Serve one ``B×D`` batch for one tenant on the shared fleet.
 
-        Returns ``[values, indices]`` bitwise identical (noise disabled)
-        to the tenant's kernel running alone on a private machine.  The
+        Protocol form: ``run_batch(queries, tenant="t0")``.  The legacy
+        positional form ``run_batch("t0", queries)`` keeps working (the
+        string-first argument disambiguates).  Returns
+        ``[values, indices]`` bitwise identical (noise disabled) to the
+        tenant's kernel running alone on a private machine.  The
         tenant's machine is held for the duration (same-machine tenants
         serialize, like the hardware); ``last_report`` carries this
         batch's tenant-scoped report.
         """
+        if isinstance(queries, str):  # legacy (tenant_id, queries) order
+            queries, tenant = tenant, queries
+        if tenant is None:
+            raise SessionError(
+                "a multi-tenant batch must name its tenant: "
+                "run_batch(queries, tenant=...)"
+            )
+        tenant_id = tenant
         with self._stats_lock:
             # Snapshot the generation: a reset() racing this batch swaps
             # session/lock/lanes wholesale, and the stale batch must not

@@ -25,133 +25,71 @@ best path:
   :class:`~concurrent.futures.Future` back immediately; a dispatcher
   thread coalesces queued requests into micro-batches (up to
   ``max_batch`` rows, waiting at most ``max_wait`` seconds to fill one)
-  and hands each micro-batch to the least-loaded replica's worker.
+  and hands each micro-batch to the least-loaded lane's worker.
+
+The engine is built from two replaceable parts so higher control planes
+(:class:`~repro.runtime.cluster.Cluster`) can reuse its worker/future
+plumbing wholesale:
+
+* a **request intake** forms micro-batches.  :class:`FifoIntake` (the
+  default) coalesces in arrival order; :class:`PriorityIntake` orders
+  by ``priority`` (higher first) then earliest ``deadline``
+  (EDF-within-priority) then submission order.  Either way a
+  micro-batch only ever holds requests of **one** tenant.
+* **serving lanes** (one backend copy + one worker thread each) can be
+  added and retired at runtime (``add_lane`` / ``remove_lane``) — the
+  mechanism a queue-depth autoscaler grows and shrinks per-tenant
+  capacity with.  A lane may carry a tenant affinity (it serves only
+  that tenant's batches) and a machine lock (colocated backends of one
+  physical machine serialize, like the hardware).
 
 **Identity guarantee** — with device noise disabled, the values/indices
 a future resolves to are *bitwise identical* to calling the underlying
 session's ``run_batch`` directly on that request's rows, regardless of
-how requests were coalesced or which replica served them: every replica
-is programmed with the same stored set, and match-line scores are
-row-local, so micro-batch grouping cannot change any per-query result.
-(With ``noise_sigma > 0`` replicas draw decorrelated noise streams and
-the guarantee intentionally does not hold.)
+how requests were coalesced, prioritised or which lane served them:
+every lane of a store is programmed with the same patterns, and
+match-line scores are row-local, so grouping cannot change any
+per-query result.  (With ``noise_sigma > 0`` replicas draw decorrelated
+noise streams and the guarantee intentionally does not hold.)
 
 Scheduling is wall-clock-real but device time is simulated; the optional
 ``time_scale`` knob (wall seconds per simulated nanosecond) makes each
-worker *hold* its replica for the micro-batch's simulated latency, so
+worker *hold* its lane for the micro-batch's simulated latency, so
 wall-clock experiments (e.g. ``benchmarks/test_serving_throughput.py``)
 see the fixed-latency-device behaviour the paper's hardware would have.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import queue
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.simulator.metrics import (
-    EnergyBreakdown,
     ExecutionReport,
     merge_concurrent_reports,
 )
 
+from .backend import ClusterShutdown, ExecutionBackend, LaneStats, SessionError
 from .machineview import MachineGroupView
-from .session import SessionError
 
-__all__ = ["LaneStats", "ReplicatedSession", "ServingEngine"]
-
-
-# ----------------------------------------------------------------- lanes
-def _setup_report(replica) -> ExecutionReport:
-    """A zero-query report carrying ``replica``'s setup cost and silicon.
-
-    The starting point of one replica's lane: even a replica that never
-    serves a batch burned its pattern-programming energy and occupies
-    its machines.
-    """
-    custom = getattr(replica, "setup_report", None)
-    if custom is not None:  # MultiTenantSession knows its own baseline
-        return custom()
-    sessions = getattr(replica, "sessions", None)
-    if sessions is not None:  # ShardedSession: one machine per shard
-        write = sum(s.setup_energy_pj for s in sessions)
-        setup = max(s.setup_latency_ns for s in sessions)
-        view = replica  # the aggregate machine view
-    else:
-        write = replica.setup_energy_pj
-        setup = replica.setup_latency_ns
-        # The session's own (tenant-scoped) allocation counts: equal to
-        # the machine totals for a private machine, and exactly the
-        # session's banks when it is colocated on a shared one.
-        view = replica
-    return ExecutionReport(
-        setup_latency_ns=setup,
-        energy=EnergyBreakdown(write=write),
-        banks_used=view.banks_used,
-        mats_used=view.mats_used,
-        arrays_used=view.arrays_used,
-        subarrays_used=view.subarrays_used,
-        queries=0,
-        spec=replica.spec,
-    )
-
-
-class LaneStats:
-    """Serialized totals of one backend's traffic (its "lane").
-
-    The accumulation shape shared by replica lanes (one per copy in a
-    :class:`ReplicatedSession`) and tenant lanes (one per tenant in a
-    :class:`~repro.runtime.placement.MultiTenantSession`): query work
-    folds in per batch, the one-time setup baseline is charged once via
-    :func:`_setup_report` — tenant-scoped for a colocated session.
-    """
-
-    def __init__(self, replica):
-        self.base = _setup_report(replica)
-        self.latency_ns = 0.0
-        self.queries = 0
-        self.searches = 0
-        self.cycles = 0
-        self.energy = EnergyBreakdown()
-
-    def add(self, report: ExecutionReport) -> None:
-        """Fold one batch report into the lane.
-
-        Batch reports each re-state the session's one-time setup (write)
-        cost; the lane charges it once via :attr:`base` instead.
-        """
-        self.latency_ns += report.query_latency_ns
-        self.queries += report.queries
-        self.searches += report.searches
-        self.cycles += report.search_cycles
-        for key, value in report.energy.as_dict().items():
-            if key != "write":
-                setattr(self.energy, key, getattr(self.energy, key) + value)
-
-    def report(self) -> ExecutionReport:
-        energy = EnergyBreakdown(**self.energy.as_dict())
-        energy.write = self.base.energy.write
-        return ExecutionReport(
-            query_latency_ns=self.latency_ns,
-            setup_latency_ns=self.base.setup_latency_ns,
-            energy=energy,
-            banks_used=self.base.banks_used,
-            mats_used=self.base.mats_used,
-            arrays_used=self.base.arrays_used,
-            subarrays_used=self.base.subarrays_used,
-            searches=self.searches,
-            search_cycles=self.cycles,
-            queries=self.queries,
-            spec=self.base.spec,
-        )
+__all__ = [
+    "FifoIntake",
+    "LaneStats",
+    "PriorityIntake",
+    "ReplicatedSession",
+    "ServingEngine",
+]
 
 
 # ----------------------------------------------------------- replication
-class ReplicatedSession(MachineGroupView):
+class ReplicatedSession(ExecutionBackend, MachineGroupView):
     """R independently programmed copies of one store, for throughput.
 
     Wraps a compiled :class:`~repro.runtime.session.QuerySession` or
@@ -214,6 +152,22 @@ class ReplicatedSession(MachineGroupView):
                 out.append(replica.machine)
         return out
 
+    # ------------------------------------------------------- protocol bits
+    def query_width(self, tenant: Optional[str] = None) -> Optional[int]:
+        """Delegates to the base replica (every copy serves the same
+        store, so they all share one width map)."""
+        return self.replicas[0].query_width(tenant)
+
+    def tenant_widths(self) -> Optional[Dict[str, int]]:
+        return self.replicas[0].tenant_widths()
+
+    def setup_report(self) -> ExecutionReport:
+        """Zero-query baseline: replicas program in parallel, every
+        copy's write energy and silicon is paid."""
+        return merge_concurrent_reports(
+            [replica.setup_report() for replica in self.replicas]
+        )
+
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
         """Clear query-side state on every replica; patterns survive."""
@@ -238,10 +192,7 @@ class ReplicatedSession(MachineGroupView):
         (:class:`~repro.runtime.placement.MultiTenantSession`).
         """
         replica = self.replicas[index]
-        if tenant is None:
-            outputs = replica.run_batch(queries)
-        else:
-            outputs = replica.run_batch(tenant, queries)
+        outputs = replica.run_batch(queries, tenant=tenant)
         report = replica.last_report
         with self._lock:
             self._lanes[index].add(report)
@@ -290,38 +241,263 @@ class ReplicatedSession(MachineGroupView):
         )
 
 
-# -------------------------------------------------------------- the engine
+# --------------------------------------------------------------- requests
 class _Request:
-    """One queued client request: its rows, tenant and future."""
+    """One queued client request: rows, tenant, urgency and its future."""
 
-    __slots__ = ("queries", "rows", "future", "tenant")
+    __slots__ = (
+        "queries", "rows", "future", "tenant", "priority", "deadline", "seq",
+    )
+    _seq = itertools.count()
 
-    def __init__(self, queries: np.ndarray, tenant: Optional[str] = None):
+    def __init__(
+        self,
+        queries: np.ndarray,
+        tenant: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ):
         self.queries = queries
         self.rows = queries.shape[0]
         self.future: Future = Future()
         self.tenant = tenant
+        self.priority = int(priority)
+        #: Absolute monotonic-clock deadline (None = none).
+        self.deadline = (
+            None if deadline is None else time.monotonic() + float(deadline)
+        )
+        self.seq = next(self._seq)
+
+    @property
+    def sort_key(self) -> Tuple[float, float, int]:
+        """Higher priority first, then EDF, then submission order."""
+        return (
+            -self.priority,
+            float("inf") if self.deadline is None else self.deadline,
+            self.seq,
+        )
 
 
 _SHUTDOWN = object()
 
 
-def _feature_width(replica) -> Optional[int]:
-    """The query width ``replica`` serves, when it can tell us."""
-    program = getattr(replica, "program", None)
-    if program is not None:
-        return program.plan.features
-    shard_set = getattr(replica, "shard_set", None)
-    if shard_set is not None:
-        return shard_set.features
-    features = getattr(replica, "features", None)
-    return features if isinstance(features, int) else None
+# ---------------------------------------------------------------- intakes
+class FifoIntake:
+    """The default request source: arrival order, tenant-pure batches.
+
+    A micro-batch closes when it holds ``max_batch`` query rows or
+    ``max_wait`` seconds passed since its first request; a request that
+    would overflow the cap — or that belongs to a different tenant than
+    the batch — is held over and seeds the next micro-batch instead.
+    ``priority``/``deadline`` on requests are carried but not honoured
+    (use :class:`PriorityIntake` for that).
+    """
+
+    def __init__(self):
+        self._queue: queue.Queue = queue.Queue()
+        self._holdover: Optional[_Request] = None
+        self._stopped = False
+
+    def put(self, request: _Request) -> None:
+        self._queue.put(request)
+
+    def close(self) -> None:
+        self._queue.put(_SHUTDOWN)
+
+    def drain(self) -> List[_Request]:
+        """Remove and return every still-queued request (shutdown)."""
+        drained = []
+        if self._holdover is not None:
+            drained.append(self._holdover)
+            self._holdover = None
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return drained
+            if item is not _SHUTDOWN:
+                drained.append(item)
+
+    def next_batch(self, max_batch: int, max_wait: float):
+        """The next micro-batch ``(requests, rows)``; None at shutdown."""
+        if self._stopped:
+            return None
+        first = (
+            self._holdover if self._holdover is not None
+            else self._queue.get()
+        )
+        self._holdover = None
+        if first is _SHUTDOWN:
+            self._stopped = True
+            return None
+        batch = [first]
+        rows = first.rows
+        deadline = time.monotonic() + max_wait
+        while rows < max_batch:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                break
+            try:
+                nxt = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                break
+            if nxt is _SHUTDOWN:
+                self._stopped = True
+                break
+            if nxt.tenant != first.tenant:
+                # Never mix tenants in one micro-batch: the next
+                # request seeds its own batch instead.
+                self._holdover = nxt
+                break
+            if rows + nxt.rows > max_batch:
+                self._holdover = nxt  # seeds the next micro-batch
+                break
+            batch.append(nxt)
+            rows += nxt.rows
+        return batch, rows
 
 
-def _tenant_widths(replica) -> Optional[dict]:
-    """Per-tenant query widths of a multi-tenant backend, else None."""
-    features = getattr(replica, "tenant_features", None)
-    return dict(features) if isinstance(features, dict) else None
+class PriorityIntake:
+    """Priority/deadline-ordered request source (cluster dispatch).
+
+    The most urgent pending request — highest ``priority``, then
+    earliest ``deadline`` (EDF within a priority class), then earliest
+    submission — seeds each micro-batch; coalescing then pulls further
+    pending requests of the *same tenant* in the same urgency order
+    (skipping any that would overflow ``max_batch``; they stay queued),
+    waiting up to ``max_wait`` seconds for the batch to fill.  Batches
+    never mix tenants, so one control plane multiplexes every colocated
+    kernel without a query of one store ever riding another's search.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._entries: List[Tuple[tuple, _Request]] = []
+        # Per-tenant queued-row totals, kept in lockstep with the heap:
+        # pending_rows() runs on every submit (the autoscaler's signal)
+        # and must not rescan a deep backlog each time.
+        self._rows: Dict[Optional[str], int] = {}
+        self._closed = False
+
+    def _account(self, request: _Request, delta: int) -> None:
+        total = self._rows.get(request.tenant, 0) + delta * request.rows
+        if total > 0:
+            self._rows[request.tenant] = total
+        else:
+            self._rows.pop(request.tenant, None)
+
+    def put(self, request: _Request) -> None:
+        with self._cond:
+            if self._closed:
+                raise SessionError("the request intake is closed")
+            heapq.heappush(self._entries, (request.sort_key, request))
+            self._account(request, +1)
+            self._cond.notify()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def pending_rows(self, tenant: Optional[str] = None) -> int:
+        """Queued (not yet dispatched) rows, optionally one tenant's —
+        the queue-depth signal the cluster autoscaler watches."""
+        with self._cond:
+            if tenant is None:
+                return sum(self._rows.values())
+            return self._rows.get(tenant, 0)
+
+    def drain(self) -> List[_Request]:
+        """Remove and return every still-queued request (shutdown)."""
+        with self._cond:
+            drained = [request for _key, request in self._entries]
+            self._entries = []
+            self._rows = {}
+            return drained
+
+    def drain_tenant(self, tenant: str) -> List[_Request]:
+        """Remove and return one tenant's queued requests (eviction)."""
+        with self._cond:
+            keep, gone = [], []
+            for entry in self._entries:
+                (gone if entry[1].tenant == tenant else keep).append(entry)
+            self._entries = keep
+            heapq.heapify(self._entries)
+            self._rows.pop(tenant, None)
+            return [request for _key, request in gone]
+
+    def next_batch(self, max_batch: int, max_wait: float):
+        """The next micro-batch ``(requests, rows)``; None at shutdown."""
+        with self._cond:
+            while not self._entries:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            _key, first = heapq.heappop(self._entries)
+            self._account(first, -1)
+            batch = [first]
+            rows = first.rows
+            deadline = time.monotonic() + max_wait
+            while rows < max_batch:
+                rows = self._take_same_tenant(batch, rows, max_batch)
+                if rows >= max_batch or self._closed:
+                    break
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+                self._cond.wait(timeout=timeout)
+            return batch, rows
+
+    def _take_same_tenant(
+        self, batch: List[_Request], rows: int, max_batch: int
+    ) -> int:
+        """Move fitting same-tenant entries into ``batch``, most urgent
+        first.  Caller holds the condition lock."""
+        tenant = batch[0].tenant
+        chosen = []
+        for entry in sorted(
+            (e for e in self._entries if e[1].tenant == tenant),
+            key=lambda e: e[0],
+        ):
+            if rows + entry[1].rows <= max_batch:
+                chosen.append(entry)
+                batch.append(entry[1])
+                rows += entry[1].rows
+                if rows >= max_batch:
+                    break
+        if chosen:
+            taken = {id(entry) for entry in chosen}
+            self._entries = [
+                entry for entry in self._entries if id(entry) not in taken
+            ]
+            heapq.heapify(self._entries)
+            for entry in chosen:
+                self._account(entry[1], -1)
+        return rows
+
+
+# ------------------------------------------------------------------ lanes
+class _Lane:
+    """One serving lane: a backend copy, its worker thread and queue."""
+
+    __slots__ = (
+        "backend", "serve", "tenant", "lock", "inbox", "thread",
+        "outstanding", "busy_until", "rows_dispatched", "alive",
+        "retire_error",
+    )
+
+    def __init__(self, backend, serve, tenant, lock):
+        self.backend = backend
+        self.serve = serve            # (queries, tenant) -> result
+        self.tenant = tenant          # affinity: None serves any tenant
+        self.lock = lock              # machine lock for colocated backends
+        self.inbox: queue.Queue = queue.Queue()
+        self.thread: Optional[threading.Thread] = None
+        self.outstanding = 0          # dispatched, unfinished rows
+        self.busy_until = 0.0         # wall-clock pacing book
+        self.rows_dispatched = 0
+        self.alive = True
+        self.retire_error: Optional[BaseException] = None
 
 
 def _default_split(result, lo: int, hi: int):
@@ -336,6 +512,30 @@ def _default_split(result, lo: int, hi: int):
     )
 
 
+def _probe_widths(backend):
+    """(tenant-width map, single width) via the protocol, duck-typed.
+
+    Raw list backends (e.g. the pattern-matcher adapters) predate the
+    protocol; they fall back to a ``features`` attribute or simply let
+    the first request pin the width.
+    """
+    tenant_widths = getattr(backend, "tenant_widths", None)
+    if callable(tenant_widths):
+        tenants = tenant_widths()
+        if tenants is not None:
+            return dict(tenants), None
+    else:
+        tenants = getattr(backend, "tenant_features", None)
+        if isinstance(tenants, dict):
+            return dict(tenants), None
+    query_width = getattr(backend, "query_width", None)
+    if callable(query_width):
+        return None, query_width()
+    features = getattr(backend, "features", None)
+    return None, features if isinstance(features, int) else None
+
+
+# -------------------------------------------------------------- the engine
 class ServingEngine:
     """Async front door: queue in, micro-batches out, futures back.
 
@@ -351,21 +551,21 @@ class ServingEngine:
 
     * **clients** call :meth:`submit` (thread-safe, non-blocking) and
       hold the returned future;
-    * one **dispatcher** coalesces queued requests into micro-batches —
-      a batch closes when it holds ``max_batch`` query rows or
-      ``max_wait`` seconds passed since its first request (a request
-      that would overflow the cap seeds the next batch instead, so
-      micro-batches never exceed ``max_batch`` unless a single request
-      alone does) — and assigns each batch to the replica with the
-      fewest outstanding rows;
-    * one **worker per replica** serves its queue in order, optionally
-      holds the replica for the batch's simulated latency
-      (``time_scale`` wall-seconds per simulated ns), then resolves
-      each request's future with its slice of the batch result.
+    * one **dispatcher** pulls micro-batches from the intake
+      (:class:`FifoIntake` by default; pass ``intake=PriorityIntake()``
+      for priority/deadline dispatch) and assigns each batch to the
+      eligible lane with the fewest outstanding rows;
+    * one **worker per lane** serves its queue in order, optionally
+      holds the lane for the batch's simulated latency (``time_scale``
+      wall-seconds per simulated ns), then resolves each request's
+      future with its slice of the batch result.
 
     :meth:`shutdown` drains in-flight work (``wait=True``, the default —
-    every already-submitted future resolves) or aborts it
-    (``wait=False`` — unserved futures are cancelled); either way the
+    every already-submitted future resolves), aborts it (``wait=False``
+    — unserved futures are cancelled), or aborts with an explicit error
+    (``abort=True`` — unserved futures raise
+    :class:`~repro.runtime.backend.ClusterShutdown`, so clients can
+    tell a control-plane decision from a cancellation); either way the
     engine refuses new submissions afterwards.  The engine is a context
     manager: a clean ``with`` exit drains, an exceptional one aborts.
     """
@@ -377,70 +577,184 @@ class ServingEngine:
         max_wait: float = 0.002,
         time_scale: float = 0.0,
         split: Optional[Callable] = None,
+        intake=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be a positive row count")
         if max_wait < 0:
             raise ValueError("max_wait must be >= 0 seconds")
-        if isinstance(session, (list, tuple)):
+        self.session = None
+        backends: List = []
+        if session is None:
+            # A control plane (the cluster) attaches lanes itself via
+            # add_lane() and registers tenant widths explicitly.
+            self._tenants: Optional[Dict[str, int]] = {}
+            self._features: Optional[int] = None
+        elif isinstance(session, (list, tuple)):
             if not session:
                 raise SessionError("the engine needs at least one replica")
-            self.session = None
-            self._replicas = list(session)
+            backends = list(session)
         else:
             if not hasattr(session, "run_on"):
                 session = ReplicatedSession(session, 1)
             self.session = session
-            self._replicas = session.replicas
+            backends = list(session.replicas)
         self.max_batch = max_batch
         self.max_wait = max_wait
         self.time_scale = time_scale
         self._split = split or _default_split
-        # Feature width every request must share (requests coalesce).
-        # Seeded from the backend when it knows; otherwise the first
-        # request pins it.  Multi-tenant backends instead carry one
-        # width per tenant, and every submit must name its tenant.
-        self._tenants: Optional[dict] = _tenant_widths(self._replicas[0])
-        self._features: Optional[int] = (
-            None if self._tenants is not None
-            else _feature_width(self._replicas[0])
-        )
 
-        self._intake: queue.Queue = queue.Queue()
+        if backends:
+            # Feature width every request must share (requests coalesce).
+            # Seeded from the backend when it knows; otherwise the first
+            # request pins it.  Multi-tenant backends instead carry one
+            # width per tenant, and every submit must name its tenant.
+            self._tenants, self._features = _probe_widths(backends[0])
+
+        self._intake = intake if intake is not None else FifoIntake()
         self._lock = threading.Lock()
         self._closed = False
         self._abort = False
-        self._outstanding = [0] * len(self._replicas)
+        self._abort_error: Optional[BaseException] = None
+        self._lanes: List[_Lane] = []
         self.requests_submitted = 0
         self.batches_dispatched = 0
-        self.rows_dispatched = [0] * len(self._replicas)
+        #: Called (with the batch's tenant) after every served batch —
+        #: the completion signal a cluster autoscaler shrinks on.
+        self.on_batch_done: Optional[Callable[[Optional[str]], None]] = None
 
-        # Wall-clock device booking per replica (pacing): the time until
-        # which the simulated device is occupied, so queued micro-batches
-        # run back-to-back regardless of host scheduling jitter.
-        self._busy_until = [0.0] * len(self._replicas)
-        self._worker_queues = [queue.Queue() for _ in self._replicas]
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, args=(i,), daemon=True,
-                name=f"serving-replica-{i}",
-            )
-            for i in range(len(self._replicas))
-        ]
+        if self.session is not None:
+            for index, replica in enumerate(backends):
+                self._start_lane(self._session_lane(index, replica))
+        else:
+            for replica in backends:
+                self._start_lane(self._backend_lane(replica))
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, daemon=True, name="serving-dispatch"
         )
-        for worker in self._workers:
-            worker.start()
         self._dispatcher.start()
+
+    # -------------------------------------------------------- lane plumbing
+    def _session_lane(self, index: int, replica) -> _Lane:
+        """A lane pinned to ``session.run_on(index, ...)`` so the
+        replicated session keeps its own lane accounting."""
+        def serve(queries, tenant, _index=index):
+            return self.session.run_on(_index, queries, tenant=tenant)
+
+        return _Lane(replica, serve, tenant=None, lock=None)
+
+    def _backend_lane(self, backend, tenant=None, lock=None) -> _Lane:
+        """A lane serving ``backend.run_batch`` directly."""
+        def serve(queries, request_tenant):
+            if request_tenant is not None and tenant is None:
+                # a tenant-routed request on a shared backend
+                return backend.run_batch(queries, tenant=request_tenant)
+            return backend.run_batch(queries)
+
+        return _Lane(backend, serve, tenant=tenant, lock=lock)
+
+    def _start_lane(self, lane: _Lane) -> _Lane:
+        with self._lock:
+            if self._closed:
+                raise SessionError(
+                    "the serving engine is shut down; no new lanes"
+                )
+            self._lanes.append(lane)
+            index = len(self._lanes) - 1
+        lane.thread = threading.Thread(
+            target=self._worker_loop, args=(lane,), daemon=True,
+            name=f"serving-lane-{index}",
+        )
+        lane.thread.start()
+        return lane
+
+    def add_lane(self, backend, tenant: Optional[str] = None,
+                 lock: Optional[threading.Lock] = None,
+                 serve: Optional[Callable] = None) -> _Lane:
+        """Attach a new serving lane at runtime (autoscale-up).
+
+        ``tenant`` pins the lane to one tenant's batches; ``lock``
+        serializes the lane with other lanes colocated on the same
+        physical machine; ``serve`` overrides the ``(queries, tenant)``
+        callable (defaults to the backend's protocol ``run_batch``).
+        """
+        lane = (
+            self._backend_lane(backend, tenant=tenant, lock=lock)
+            if serve is None
+            else _Lane(backend, serve, tenant=tenant, lock=lock)
+        )
+        return self._start_lane(lane)
+
+    def remove_lane(
+        self, lane: _Lane, error: Optional[BaseException] = None
+    ) -> None:
+        """Retire a lane at runtime (autoscale-down / tenant eviction).
+
+        Already-queued batches on the lane fail with ``error`` (default
+        :class:`~repro.runtime.backend.ClusterShutdown`) rather than
+        being served by a backend the control plane has retired.  The
+        worker thread winds down asynchronously (it may be the caller).
+        """
+        with self._lock:
+            if not lane.alive:
+                return
+            lane.alive = False
+            lane.retire_error = error or ClusterShutdown(
+                "the serving lane was retired before this request ran"
+            )
+        lane.inbox.put(_SHUTDOWN)
+
+    def lanes(self, tenant: Optional[str] = None) -> List[_Lane]:
+        """The live lanes, optionally only those serving ``tenant``."""
+        with self._lock:
+            return [
+                lane for lane in self._lanes
+                if lane.alive and (tenant is None or lane.tenant == tenant)
+            ]
 
     # ------------------------------------------------------------- clients
     @property
     def num_replicas(self) -> int:
-        return len(self._replicas)
+        return len(self.lanes())
+
+    def register_tenant(self, tenant: str, width: int) -> None:
+        """Declare a tenant's query width (cluster admit)."""
+        with self._lock:
+            if self._tenants is None:
+                self._tenants = {}
+            self._tenants[tenant] = int(width)
+
+    def drop_tenant(self, tenant: str) -> None:
+        """Forget a tenant's width (cluster evict); later submits for
+        it are refused at the caller."""
+        with self._lock:
+            if self._tenants is not None:
+                self._tenants.pop(tenant, None)
+
+    def drain_tenant(self, tenant: str, error: BaseException) -> int:
+        """Fail a tenant's queued (undispatched) requests with ``error``
+        (eviction); returns how many were failed.  Requires an intake
+        that supports per-tenant draining (:class:`PriorityIntake`)."""
+        drain = getattr(self._intake, "drain_tenant", None)
+        if drain is None:
+            return 0
+        requests = drain(tenant)
+        for request in requests:
+            self._resolve(request.future.set_exception, error)
+        return len(requests)
+
+    def pending_rows(self, tenant: Optional[str] = None) -> int:
+        """Queued (undispatched) rows, optionally one tenant's; 0 when
+        the intake cannot tell (plain FIFO)."""
+        pending = getattr(self._intake, "pending_rows", None)
+        return 0 if pending is None else pending(tenant)
 
     def submit(
-        self, queries: np.ndarray, tenant: Optional[str] = None
+        self,
+        queries: np.ndarray,
+        tenant: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> Future:
         """Enqueue one request (a single ``D`` query or a small ``B×D``
         batch); returns its future immediately.
@@ -452,6 +766,12 @@ class ServingEngine:
         serving error if the backend failed, and is cancelled if the
         engine shuts down with ``wait=False`` before serving it.
 
+        ``priority`` (higher = more urgent, default 0) and ``deadline``
+        (seconds from now; requests with earlier deadlines dispatch
+        first within a priority class) order dispatch when the engine
+        runs a :class:`PriorityIntake`; the default FIFO intake carries
+        them but serves in arrival order.
+
         Over a multi-tenant fleet every request names its ``tenant``;
         the dispatcher only coalesces requests of the same tenant into a
         micro-batch, so one serving fleet multiplexes all the colocated
@@ -462,7 +782,11 @@ class ServingEngine:
             raise ValueError(
                 "submit() takes one 1-D query or a non-empty 2-D batch"
             )
-        request = _Request(batch, tenant=tenant)
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0 seconds from now")
+        request = _Request(
+            batch, tenant=tenant, priority=priority, deadline=deadline
+        )
         with self._lock:
             if self._closed:
                 raise SessionError(
@@ -516,108 +840,103 @@ class ServingEngine:
 
     # ---------------------------------------------------------- dispatcher
     def _dispatch_loop(self) -> None:
-        holdover: Optional[_Request] = None
         while True:
-            first = holdover if holdover is not None else self._intake.get()
-            holdover = None
-            if first is _SHUTDOWN:
+            item = self._intake.next_batch(self.max_batch, self.max_wait)
+            if item is None:
                 break
-            batch = [first]
-            rows = first.rows
-            deadline = time.monotonic() + self.max_wait
-            stop = False
-            while rows < self.max_batch:
-                timeout = deadline - time.monotonic()
-                if timeout <= 0:
-                    break
-                try:
-                    nxt = self._intake.get(timeout=timeout)
-                except queue.Empty:
-                    break
-                if nxt is _SHUTDOWN:
-                    stop = True
-                    break
-                if nxt.tenant != first.tenant:
-                    # Never mix tenants in one micro-batch: the next
-                    # request seeds its own batch instead.
-                    holdover = nxt
-                    break
-                if rows + nxt.rows > self.max_batch:
-                    holdover = nxt  # seeds the next micro-batch
-                    break
-                batch.append(nxt)
-                rows += nxt.rows
-            self._dispatch(batch, rows)
-            if stop:
-                break
+            self._dispatch(*item)
 
     def _dispatch(self, batch: List[_Request], rows: int) -> None:
-        with self._lock:
-            index = min(
-                range(len(self._replicas)),
-                key=lambda i: (self._outstanding[i], i),
-            )
-            self._outstanding[index] += rows
-            self.batches_dispatched += 1
-            self.rows_dispatched[index] += rows
+        tenant = batch[0].tenant
         if len(batch) == 1:
             queries = batch[0].queries
         else:
             queries = np.concatenate([r.queries for r in batch], axis=0)
-        self._worker_queues[index].put(
-            (batch, queries, batch[0].tenant, time.perf_counter())
-        )
+        # The alive-check and the inbox put are atomic under the engine
+        # lock: remove_lane flips `alive` under the same lock before it
+        # enqueues the shutdown sentinel, so a dispatched batch always
+        # precedes the sentinel (the worker fails it with the lane's
+        # retire error) and can never be stranded behind it.
+        with self._lock:
+            eligible = [
+                lane for lane in self._lanes
+                if lane.alive and lane.tenant in (None, tenant)
+            ]
+            if eligible:
+                lane = min(eligible, key=lambda x: x.outstanding)
+                lane.outstanding += rows
+                lane.rows_dispatched += rows
+                self.batches_dispatched += 1
+                lane.inbox.put(
+                    (batch, queries, tenant, time.perf_counter())
+                )
+                return
+            # A control-plane decision (eviction, teardown) removed the
+            # last lane between queueing and dispatch.
+            error = self._abort_error or ClusterShutdown(
+                f"no serving lane accepts tenant {tenant!r} (it was "
+                "evicted while the request was queued)"
+            )
+        for request in batch:
+            self._resolve(request.future.set_exception, error)
 
     # ------------------------------------------------------------- workers
-    def _run(self, index: int, queries: np.ndarray, tenant: Optional[str]):
-        if self.session is not None:
-            return self.session.run_on(index, queries, tenant=tenant)
-        replica = self._replicas[index]
-        if tenant is not None:
-            return replica.run_batch(tenant, queries)
-        return replica.run_batch(queries)
-
-    def _pace(self, index: int, dispatched: float) -> None:
-        """Book the replica's simulated batch latency on the wall clock.
+    def _pace(self, lane: _Lane, dispatched: float) -> None:
+        """Book the lane's simulated batch latency on the wall clock.
 
         Occupancy is booked back-to-back from the *dispatch* time: a
         micro-batch that arrives while the device is still busy starts
-        when it frees, so a queued replica drains at exactly its service
+        when it frees, so a queued lane drains at exactly its service
         rate (absolute deadlines — host scheduling jitter does not
-        accumulate), while an idle replica charges the full service time
+        accumulate), while an idle lane charges the full service time
         from arrival.  This is the fixed-latency-device behaviour the
         async-serving benchmarks measure.
         """
         if self.time_scale <= 0.0:
             return
-        report = getattr(self._replicas[index], "last_report", None)
+        report = getattr(lane.backend, "last_report", None)
         if report is None:
             return
         busy_s = report.query_latency_ns * self.time_scale
-        target = max(dispatched, self._busy_until[index]) + busy_s
-        self._busy_until[index] = target
+        target = max(dispatched, lane.busy_until) + busy_s
+        lane.busy_until = target
         remaining = target - time.perf_counter()
         if remaining > 0:
             time.sleep(remaining)
 
-    def _worker_loop(self, index: int) -> None:
-        inbox = self._worker_queues[index]
+    def _fail_batch(self, batch: List[_Request],
+                    error: Optional[BaseException]) -> None:
+        for request in batch:
+            if error is None:
+                request.future.cancel()
+            else:
+                self._resolve(request.future.set_exception, error)
+
+    def _worker_loop(self, lane: _Lane) -> None:
         while True:
-            item = inbox.get()
+            item = lane.inbox.get()
             if item is _SHUTDOWN:
                 break
             batch, queries, tenant, dispatched = item
             try:
                 if self._abort:
-                    for request in batch:
-                        request.future.cancel()
+                    self._fail_batch(batch, self._abort_error)
+                    continue
+                if not lane.alive:
+                    # The control plane retired this lane with work
+                    # still queued (eviction): fail, don't serve.
+                    self._fail_batch(batch, lane.retire_error)
                     continue
                 # Any failure — the backend, the pacing, or splitting
                 # the result — is delivered to the batch's futures; the
                 # lane itself must survive to serve later batches.
                 try:
-                    result = self._run(index, queries, tenant)
-                    self._pace(index, dispatched)
+                    if lane.lock is not None:
+                        with lane.lock:
+                            result = lane.serve(queries, tenant)
+                    else:
+                        result = lane.serve(queries, tenant)
+                    self._pace(lane, dispatched)
                     offset = 0
                     for request in batch:
                         piece = self._split(
@@ -630,7 +949,13 @@ class ServingEngine:
                         self._resolve(request.future.set_exception, exc)
             finally:
                 with self._lock:
-                    self._outstanding[index] -= sum(r.rows for r in batch)
+                    lane.outstanding -= sum(r.rows for r in batch)
+                callback = self.on_batch_done
+                if callback is not None:
+                    try:
+                        callback(tenant)
+                    except Exception:
+                        pass  # a scaling hiccup must not kill the lane
 
     @staticmethod
     def _resolve(setter, payload) -> None:
@@ -640,32 +965,55 @@ class ServingEngine:
             pass  # the client cancelled this future; nothing to deliver
 
     # ------------------------------------------------------------ lifecycle
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True, abort: bool = False) -> None:
         """Stop the engine.  Idempotent.
 
         ``wait=True`` (default) drains: every request submitted before
         the call is served and its future resolved before this returns.
         ``wait=False`` aborts: queued and not-yet-served requests get
         their futures cancelled; only the batches already inside a
-        backend finish.
+        backend finish.  ``abort=True`` aborts like ``wait=False`` but
+        delivers a :class:`~repro.runtime.backend.ClusterShutdown` to
+        every still-pending future instead of a bare cancellation —
+        the control-plane teardown signal (cluster shutdown, tenant
+        eviction) clients can distinguish and retry elsewhere.
         """
         with self._lock:
             already = self._closed
             self._closed = True
+        if abort:
+            self._abort_error = ClusterShutdown(
+                "the serving engine shut down before this request ran"
+            )
+            wait = False
         if not wait:
             self._abort = True
         if already:
             # A later, stricter shutdown still propagates the abort;
             # the threads are already winding down.
-            for worker in self._workers:
-                worker.join()
+            self._join_workers()
             return
-        self._intake.put(_SHUTDOWN)
+        self._intake.close()
         self._dispatcher.join()
-        for inbox in self._worker_queues:
-            inbox.put(_SHUTDOWN)
-        for worker in self._workers:
-            worker.join()
+        if not wait:
+            # Requests still sitting in the intake never reached a
+            # lane: fail them the same way the workers fail theirs.
+            drain = getattr(self._intake, "drain", None)
+            if drain is not None:
+                self._fail_batch(drain(), self._abort_error)
+        with self._lock:
+            lanes = list(self._lanes)
+        for lane in lanes:
+            lane.inbox.put(_SHUTDOWN)
+        self._join_workers()
+
+    def _join_workers(self) -> None:
+        with self._lock:
+            lanes = list(self._lanes)
+        me = threading.current_thread()
+        for lane in lanes:
+            if lane.thread is not None and lane.thread is not me:
+                lane.thread.join()
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -675,14 +1023,17 @@ class ServingEngine:
 
     # -------------------------------------------------------------- report
     def report(self) -> ExecutionReport:
-        """The concurrent deployment report over every replica lane."""
+        """The concurrent deployment report over every serving lane."""
         if self.session is not None:
             return self.session.report()
-        reports = [
-            replica.report()
-            for replica in self._replicas
-            if hasattr(replica, "report")
-        ]
+        seen, reports = set(), []
+        with self._lock:
+            backends = [lane.backend for lane in self._lanes]
+        for backend in backends:
+            if id(backend) in seen or not hasattr(backend, "report"):
+                continue
+            seen.add(id(backend))
+            reports.append(backend.report())
         if not reports:
             raise SessionError(
                 "these replica backends expose no report(); read their "
@@ -696,6 +1047,10 @@ class ServingEngine:
             return {
                 "requests_submitted": self.requests_submitted,
                 "batches_dispatched": self.batches_dispatched,
-                "rows_dispatched": list(self.rows_dispatched),
-                "outstanding_rows": sum(self._outstanding),
+                "rows_dispatched": [
+                    lane.rows_dispatched for lane in self._lanes
+                ],
+                "outstanding_rows": sum(
+                    lane.outstanding for lane in self._lanes
+                ),
             }

@@ -35,7 +35,10 @@ from repro.simulator.machine import CamMachine
 from repro.simulator.metrics import EnergyBreakdown, ExecutionReport
 from repro.transforms.partitioning import PartitionPlan
 
+from .backend import ExecutionBackend, SessionError
 from .executor import Interpreter
+
+__all__ = ["QueryProgram", "QuerySession", "SessionError"]
 
 
 @dataclass(frozen=True)
@@ -84,11 +87,7 @@ class QueryProgram:
         return out
 
 
-class SessionError(RuntimeError):
-    """The module cannot be served by a batched query session."""
-
-
-class QuerySession:
+class QuerySession(ExecutionBackend):
     """A live, programmed machine answering query batches.
 
     Owns a :class:`CamMachine` that is programmed exactly once (during
@@ -250,8 +249,36 @@ class QuerySession:
         self.batches_run = 0
         self._time = 0.0
 
+    # ------------------------------------------------------- protocol bits
+    def query_width(self, tenant: Optional[str] = None) -> int:
+        """The kernel's feature dimension (single-tenant backend)."""
+        self._require_no_tenant(tenant)
+        return self.program.plan.features
+
+    def setup_report(self) -> ExecutionReport:
+        """Zero-query baseline: this session's programming cost and its
+        own (tenant-scoped, when colocated) hierarchy slice."""
+        return ExecutionReport(
+            setup_latency_ns=self.setup_latency_ns,
+            energy=EnergyBreakdown(write=self.setup_energy_pj),
+            banks_used=self.banks_used,
+            mats_used=self.mats_used,
+            arrays_used=self.arrays_used,
+            subarrays_used=self.subarrays_used,
+            queries=0,
+            spec=self.spec,
+        )
+
+    def report(self) -> ExecutionReport:
+        """The most recent batch report, or the setup baseline before
+        any batch ran (sessions don't accumulate traffic themselves —
+        a :class:`~repro.runtime.backend.LaneStats` lane does)."""
+        return self.last_report or self.setup_report()
+
     # ------------------------------------------------------------- queries
-    def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+    def run_batch(
+        self, queries: np.ndarray, tenant: Optional[str] = None
+    ) -> List[np.ndarray]:
         """Answer a ``B×D`` query batch; returns ``[values, indices]``.
 
         ``values`` is ``B×k`` float32, ``indices`` ``B×k`` int64 —
@@ -260,6 +287,7 @@ class QuerySession:
         :attr:`last_report` charges this batch's query latency/energy
         plus the session's one-time setup cost.
         """
+        self._require_no_tenant(tenant)
         plan, machine = self.program.plan, self.machine
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if queries.ndim != 2:

@@ -54,7 +54,11 @@ from repro.ir.builder import OpBuilder
 from repro.ir.module import ModuleOp
 from repro.ir.types import FunctionType, TensorType, f32, i64, index
 from repro.passes.pass_manager import PassManager
-from repro.simulator.metrics import ExecutionReport, aggregate_reports
+from repro.simulator.metrics import (
+    EnergyBreakdown,
+    ExecutionReport,
+    aggregate_reports,
+)
 from repro.simulator.peripherals import best_match_batch
 from repro.transforms.cim_to_cam import CimToCamPass
 from repro.transforms.optimizations import MappingConfig, resolve_optimization
@@ -65,8 +69,9 @@ from repro.transforms.partitioning import (
     machine_row_capacity,
 )
 
+from .backend import ExecutionBackend, SessionError
 from .machineview import MachineGroupView
-from .session import QuerySession, SessionError
+from .session import QuerySession
 
 
 # --------------------------------------------------------------- planning
@@ -270,7 +275,7 @@ def build_shard_set(
 
 
 # ---------------------------------------------------------------- sessions
-class ShardedSession(MachineGroupView):
+class ShardedSession(ExecutionBackend, MachineGroupView):
     """N live machines serving one similarity kernel's query stream.
 
     Owns one :class:`~repro.runtime.session.QuerySession` per shard —
@@ -346,6 +351,35 @@ class ShardedSession(MachineGroupView):
     def row_offsets(self) -> List[int]:
         return self.shard_set.row_offsets
 
+    # ------------------------------------------------------- protocol bits
+    def query_width(self, tenant: Optional[str] = None) -> int:
+        """The kernel's feature dimension (single-tenant backend)."""
+        self._require_no_tenant(tenant)
+        return self.shard_set.features
+
+    def setup_report(self) -> ExecutionReport:
+        """Zero-query baseline: shards program in parallel (setup is a
+        max over machines) but every machine's write energy is paid."""
+        return ExecutionReport(
+            setup_latency_ns=max(
+                s.setup_latency_ns for s in self.sessions
+            ),
+            energy=EnergyBreakdown(
+                write=sum(s.setup_energy_pj for s in self.sessions)
+            ),
+            banks_used=self.banks_used,
+            mats_used=self.mats_used,
+            arrays_used=self.arrays_used,
+            subarrays_used=self.subarrays_used,
+            queries=0,
+            spec=self.spec,
+        )
+
+    def report(self) -> ExecutionReport:
+        """The most recent merged batch report, or the setup baseline
+        before any batch ran."""
+        return self.last_report or self.setup_report()
+
     # ------------------------------------------------------------ lifecycle
     def clone(self, noise_seed=None) -> "ShardedSession":
         """An independent replica of the whole shard group.
@@ -376,7 +410,9 @@ class ShardedSession(MachineGroupView):
         self.batches_run = 0
 
     # ------------------------------------------------------------- queries
-    def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+    def run_batch(
+        self, queries: np.ndarray, tenant: Optional[str] = None
+    ) -> List[np.ndarray]:
         """Fan a ``B×D`` batch out to every shard and merge the top-k.
 
         Returns ``[values, indices]`` (``B×k`` float32 / int64) with
@@ -385,6 +421,7 @@ class ShardedSession(MachineGroupView):
         re-ranks the shards' float64 candidate scores with the same
         stable tie-break as the single-machine top-k peripheral.
         """
+        self._require_no_tenant(tenant)
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         outputs = [session.run_batch(queries) for session in self.sessions]
         n_queries = queries.shape[0]

@@ -18,6 +18,21 @@ Multi-machine executions combine per-machine reports two ways:
   fabric serves one tenant at a time) and the per-tenant allocation
   counts sum to the machine's — the fabric is counted once, since
   bank-granular tenants partition it exactly.
+* :func:`combine_epoch_reports` — **epochs** of one deployment whose
+  membership changes over time (a cluster admitting and evicting
+  tenants, defragmenting between epochs): time and work sum across
+  epochs, but the allocation counts take the peak — the fleet re-uses
+  the same silicon across epochs rather than occupying new fabric.
+
+Zero-query reports are first-class citizens of every combiner: a tenant
+admitted but never queried contributes a lane report with ``queries=0``
+and ``query_latency_ns=0.0``, and the per-query helpers
+(:attr:`ExecutionReport.throughput_qps`,
+:attr:`~ExecutionReport.per_query_latency_ns`,
+:attr:`~ExecutionReport.per_query_energy_pj`,
+:attr:`~ExecutionReport.power_mw`) return ``0.0`` instead of dividing
+by zero, both on the idle lane and on any combination that stays at
+zero queries or zero latency.
 
 All combiners require every report to come from the same architecture
 (:attr:`ExecutionReport.spec`): summing energies or maxing latencies
@@ -300,4 +315,42 @@ def merge_concurrent_reports(
         query_latency_ns=max(r.query_latency_ns for r in reports),
         queries=sum(r.queries for r in reports),
         **_combined_fields(reports, "merge_concurrent_reports"),
+    )
+
+
+def combine_epoch_reports(
+    reports: Sequence[ExecutionReport],
+) -> ExecutionReport:
+    """Combine sequential *epochs* of one deployment over its lifetime.
+
+    A fleet whose membership changes over time — a
+    :class:`~repro.runtime.cluster.Cluster` admitting tenants, evicting
+    them and defragmenting in between — closes an accounting epoch at
+    every re-placement: the fleet report up to that moment is archived
+    and fresh machines start a new one.  Epochs are strictly sequential
+    on the wall clock, so query latency, setup latency (each epoch
+    re-programs its machines), energy (writes genuinely re-paid),
+    queries, searches and search cycles all **sum**; the allocation
+    counts take the **max** over epochs — the deployment's peak
+    footprint, since a rebuilt fleet reoccupies fabric rather than
+    adding to it.  Zero-query epochs (an admit immediately followed by
+    an evict) combine without disturbing any per-query figure.  All
+    reports must come from the same :class:`~repro.arch.spec.ArchSpec`
+    (``ValueError`` otherwise).
+    """
+    if not reports:
+        raise ValueError(
+            "combine_epoch_reports needs at least one epoch report"
+        )
+    fields = _combined_fields(reports, "combine_epoch_reports")
+    fields["setup_latency_ns"] = sum(r.setup_latency_ns for r in reports)
+    fields["search_cycles"] = sum(r.search_cycles for r in reports)
+    fields["banks_used"] = max(r.banks_used for r in reports)
+    fields["mats_used"] = max(r.mats_used for r in reports)
+    fields["arrays_used"] = max(r.arrays_used for r in reports)
+    fields["subarrays_used"] = max(r.subarrays_used for r in reports)
+    return ExecutionReport(
+        query_latency_ns=sum(r.query_latency_ns for r in reports),
+        queries=sum(r.queries for r in reports),
+        **fields,
     )

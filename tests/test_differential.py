@@ -294,6 +294,141 @@ def test_multi_tenant_overpack_names_tenant_and_demand():
     assert "'small'" in message  # the per-tenant breakdown lists everyone
 
 
+@pytest.mark.parametrize("seed", range(4))
+def test_cluster_lifecycle_differential(seed):
+    """The cluster path against each tenant compiled alone — bitwise
+    identical through the whole dynamic lifecycle:
+
+    1. every admitted tenant matches its solo kernel;
+    2. admitting an *unrelated* tenant changes nobody's results;
+    3. evicting a tenant (defragmenting re-placement: banks reclaimed,
+       survivors re-packed and re-programmed) changes nobody's results;
+    4. property-style placement invariants hold at every step — no
+       bank overlap between tenants and bank totals conserved.
+    """
+    from repro.runtime import Cluster
+
+    rng = np.random.default_rng(771_000 + seed)
+    spec = replace(dse_spec(int(rng.choice([16, 32]))), banks=2)
+    compiler = C4CAMCompiler(spec)
+    tenants = _random_tenants(rng, int(rng.integers(3, 6)))
+    ids = [f"t{i}" for i in range(len(tenants))]
+
+    solo = {}
+    for tid, (stored, queries, k) in zip(ids, tenants):
+        kernel = compiler.compile(
+            _dot_model(stored, k), [placeholder((1, stored.shape[1]))]
+        )
+        solo[tid] = tuple(kernel.run_batch(queries))
+
+    def check_all(cluster, live):
+        _assert_placement_invariants(cluster)
+        for tid in live:
+            stored, queries, k = tenants[ids.index(tid)]
+            values, indices = cluster.run_batch(queries, tenant=tid)
+            np.testing.assert_array_equal(
+                indices, solo[tid][1],
+                err_msg=f"cluster tenant {tid} indices diverge "
+                        f"(seed {seed})",
+            )
+            np.testing.assert_array_equal(
+                values, solo[tid][0],
+                err_msg=f"cluster tenant {tid} values diverge "
+                        f"(seed {seed})",
+            )
+
+    cluster = Cluster(spec)
+    live = []
+    # 1+2: grow the tenant set one admit at a time; after every admit,
+    # every already-resident tenant must still answer bitwise alike.
+    for tid, (stored, _queries, k) in zip(ids, tenants):
+        cluster.admit(
+            compiler.compile(
+                _dot_model(stored, k), [placeholder((1, stored.shape[1]))]
+            ),
+            tenant_id=tid,
+        )
+        live.append(tid)
+        check_all(cluster, live)
+    # 3: evict in a random order; every surviving tenant must answer
+    # bitwise alike after each defragmenting re-placement.
+    order = list(ids)
+    rng.shuffle(order)
+    for tid in order[:-1]:
+        banks_before = sum(span[2] for span in cluster.bank_spans().values())
+        evicted = cluster.bank_spans()[tid][2]
+        cluster.evict(tid)
+        live.remove(tid)
+        banks_after = sum(span[2] for span in cluster.bank_spans().values())
+        assert banks_after == banks_before - evicted  # banks conserved
+        check_all(cluster, live)
+    cluster.shutdown()
+
+
+def _assert_placement_invariants(cluster):
+    """No bank overlap between tenants; machine fill equals the sum of
+    the tenant spans (total banks conserved)."""
+    by_machine = {}
+    for tid, (machine, offset, banks) in cluster.bank_spans().items():
+        assert banks >= 1
+        by_machine.setdefault(machine, []).append((offset, offset + banks))
+    for machine, intervals in by_machine.items():
+        intervals.sort()
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert end <= start, f"bank overlap on machine {machine}"
+        assert cluster._shared_machines[machine].banks_used == sum(
+            end - start for start, end in intervals
+        )
+
+
+def test_cluster_async_priority_differential():
+    """Randomly chunked, mixed-priority async submission through the
+    cluster dispatcher returns exactly the solo kernels' results."""
+    from repro.runtime import Cluster
+
+    rng = np.random.default_rng(88)
+    spec = replace(dse_spec(16), banks=2)
+    compiler = C4CAMCompiler(spec)
+    tenants = _random_tenants(rng, 3)
+    ids = [f"t{i}" for i in range(len(tenants))]
+    solo = {}
+    cluster = Cluster(spec, max_batch=4, max_wait=0.001)
+    for tid, (stored, queries, k) in zip(ids, tenants):
+        kernel = compiler.compile(
+            _dot_model(stored, k), [placeholder((1, stored.shape[1]))]
+        )
+        solo[tid] = tuple(kernel.run_batch(queries))
+        cluster.admit(
+            compiler.compile(
+                _dot_model(stored, k), [placeholder((1, stored.shape[1]))]
+            ),
+            tenant_id=tid,
+        )
+    futures = {}
+    for tid, (_stored, queries, _k) in zip(ids, tenants):
+        futures[tid], cursor = [], 0
+        while cursor < len(queries):
+            take = min(int(rng.integers(1, 3)), len(queries) - cursor)
+            futures[tid].append(
+                cluster.submit(
+                    queries[cursor : cursor + take],
+                    tenant=tid,
+                    priority=int(rng.integers(0, 3)),
+                    deadline=float(rng.choice([0.001, 1.0])),
+                )
+            )
+            cursor += take
+    for tid in ids:
+        parts = [f.result(timeout=30) for f in futures[tid]]
+        np.testing.assert_array_equal(
+            np.vstack([p[1] for p in parts]), solo[tid][1]
+        )
+        np.testing.assert_array_equal(
+            np.vstack([p[0] for p in parts]), solo[tid][0]
+        )
+    cluster.shutdown()
+
+
 def test_all_zero_scores_resolve_identically():
     """A zero query gives every stored row the same score (whatever
     constant the CAM-level metric legalizes it to) — the top-k is then

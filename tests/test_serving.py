@@ -18,10 +18,17 @@ import pytest
 from repro.arch import dse_spec, paper_spec
 from repro.compiler import C4CAMCompiler
 from repro.frontend import placeholder
+from repro.runtime.backend import ClusterShutdown
 from repro.runtime.serving import ReplicatedSession, ServingEngine
 from repro.runtime.session import SessionError
 from repro.runtime.sharding import ShardedSession
-from repro.simulator.metrics import ExecutionReport, merge_concurrent_reports
+from repro.simulator.metrics import (
+    EnergyBreakdown,
+    ExecutionReport,
+    combine_epoch_reports,
+    combine_serial_reports,
+    merge_concurrent_reports,
+)
 
 
 def compile_dot(dot_kernel, stored, shape, k=1, **kw):
@@ -277,6 +284,32 @@ class TestServingEngine:
             engine.submit(queries[0])
         engine.shutdown()  # idempotent
 
+    def test_shutdown_abort_true_delivers_cluster_shutdown(
+            self, dot_kernel, bipolar_store):
+        """shutdown(abort=True): still-pending futures raise the typed
+        ClusterShutdown (a control-plane decision), not a bare cancel —
+        so clients can tell an eviction/teardown from a lost request."""
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16))
+        engine = kernel.serve(max_batch=1, max_wait=0.0, time_scale=1e-3)
+        futures = [engine.submit(q) for q in bipolar_store[:6]]
+        engine.shutdown(abort=True)
+        outcomes = []
+        for future in futures:
+            try:
+                future.result(timeout=30)
+                outcomes.append("served")
+            except ClusterShutdown as exc:
+                assert "shut down" in str(exc)
+                outcomes.append("aborted")
+            except CancelledError:  # pragma: no cover - the old behaviour
+                outcomes.append("cancelled")
+        assert "aborted" in outcomes
+        assert "cancelled" not in outcomes
+        served = outcomes.count("served")
+        assert outcomes == ["served"] * served + \
+            ["aborted"] * (6 - served)
+
     def test_abort_cancels_pending(self, dot_kernel, bipolar_store):
         kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
                              spec=dse_spec(16))
@@ -411,3 +444,83 @@ class TestMergeConcurrentReports:
         b = ExecutionReport(queries=1, spec=paper_spec(rows=64, cols=64))
         with pytest.raises(ValueError, match="ArchSpec"):
             merge_concurrent_reports([a, b])
+
+
+class TestZeroQueryReports:
+    """Zero-query tenant reports (admitted, never queried) must flow
+    through every combiner without dividing by zero — the regression
+    surface of the cluster's dynamic-membership accounting."""
+
+    @staticmethod
+    def _idle_lane():
+        """An idle tenant lane: programming cost, silicon, no traffic."""
+        return ExecutionReport(
+            setup_latency_ns=120.0,
+            energy=EnergyBreakdown(write=500.0),
+            banks_used=1, mats_used=4, arrays_used=16, subarrays_used=32,
+            queries=0,
+        )
+
+    @staticmethod
+    def _busy_lane():
+        return ExecutionReport(
+            query_latency_ns=200.0,
+            setup_latency_ns=80.0,
+            energy=EnergyBreakdown(search=40.0, write=300.0),
+            banks_used=1, mats_used=4, arrays_used=16, subarrays_used=32,
+            searches=64, queries=10,
+        )
+
+    def test_idle_report_helpers_guarded(self):
+        idle = self._idle_lane()
+        assert idle.throughput_qps == 0.0
+        assert idle.per_query_latency_ns == 0.0
+        assert idle.per_query_energy_pj == 0.0
+        assert idle.power_mw == 0.0
+        assert idle.edp == 0.0
+
+    def test_serial_combination_with_idle_tenant(self):
+        combined = combine_serial_reports([self._busy_lane(),
+                                           self._idle_lane()])
+        assert combined.queries == 10
+        assert combined.query_latency_ns == 200.0
+        assert combined.throughput_qps == pytest.approx(10 / 200e-9)
+        assert combined.energy.write == 800.0
+        # The all-idle machine stays finite everywhere.
+        idle_only = combine_serial_reports([self._idle_lane(),
+                                            self._idle_lane()])
+        assert idle_only.throughput_qps == 0.0
+        assert idle_only.per_query_latency_ns == 0.0
+        assert idle_only.power_mw == 0.0
+
+    def test_concurrent_merge_with_idle_lane(self):
+        merged = merge_concurrent_reports([self._busy_lane(),
+                                           self._idle_lane()])
+        assert merged.queries == 10
+        assert merged.throughput_qps == pytest.approx(10 / 200e-9)
+        idle_only = merge_concurrent_reports([self._idle_lane()])
+        assert idle_only.throughput_qps == 0.0
+        assert idle_only.per_query_energy_pj == 0.0
+
+    def test_epoch_combination_with_zero_query_epoch(self):
+        """An admit-then-evict epoch (zero queries) sums with a busy
+        one: time and writes add, allocation takes the peak, and no
+        per-query figure divides by zero."""
+        combined = combine_epoch_reports([self._idle_lane(),
+                                          self._busy_lane()])
+        assert combined.queries == 10
+        assert combined.query_latency_ns == 200.0
+        assert combined.setup_latency_ns == 200.0  # both epochs program
+        assert combined.energy.write == 800.0
+        assert combined.banks_used == 1  # peak, not sum: same fabric
+        assert combined.throughput_qps == pytest.approx(10 / 200e-9)
+        idle_only = combine_epoch_reports([self._idle_lane()])
+        assert idle_only.throughput_qps == 0.0
+        with pytest.raises(ValueError):
+            combine_epoch_reports([])
+
+    def test_epoch_combination_rejects_mixed_specs(self):
+        a = ExecutionReport(queries=1, spec=dse_spec(16))
+        b = ExecutionReport(queries=1, spec=paper_spec(rows=64, cols=64))
+        with pytest.raises(ValueError, match="ArchSpec"):
+            combine_epoch_reports([a, b])

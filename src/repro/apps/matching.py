@@ -36,6 +36,7 @@ from repro.runtime.sharding import aggregate_reports, plan_shard_count, shard_si
 from repro.simulator.machine import CamMachine
 from repro.simulator.metrics import ExecutionReport
 from repro.simulator.peripherals import threshold_match
+from repro.runtime.session import StoreOverflow
 from repro.transforms.partitioning import (
     check_plan_capacity,
     compute_partition_plan,
@@ -93,6 +94,21 @@ class PatternMatcher:
         self._place()
         self._time = 0.0
         self._queries = 0
+        # Live-store bookkeeping: pattern ids are stable across
+        # insert/delete — a deleted slot is masked out of every lookup
+        # and reused by later inserts, so the store mutates with per-row
+        # write energy instead of a re-program.
+        self._capacity = self.plan.row_tiles * self.plan.row_tile
+        self._window = self.plan.patterns   # scored row prefix
+        self._alive = np.zeros(self._capacity, dtype=bool)
+        self._alive[: n] = True
+        self._slot_ids = np.full(self._capacity, -1, dtype=np.int64)
+        self._slot_ids[: n] = np.arange(n)
+        self._slot_of = {i: i for i in range(n)}
+        self._rows = {i: patterns[i].copy() for i in range(n)}
+        self._next_id = n
+        self._free: List[int] = []
+        self._mutated = False
 
     def _place(self) -> None:
         plan, spec, m = self.plan, self.spec, self.machine
@@ -112,6 +128,105 @@ class PatternMatcher:
             ]
             if tile.size:
                 self.setup_time += m.write_value(sub, tile, at=self.setup_time)
+
+    # ----------------------------------------------------------- mutations
+    @property
+    def pattern_count(self) -> int:
+        """Live (non-deleted) patterns in the store."""
+        return len(self._rows)
+
+    def row_ids(self) -> List[int]:
+        """Live pattern ids, ascending."""
+        return sorted(self._rows)
+
+    def _slot_tiles(self, slot: int):
+        plan = self.plan
+        rp, r = divmod(slot, plan.row_tile)
+        d = self.patterns.shape[1]
+        for cp in range(plan.col_tiles):
+            c0 = cp * plan.col_tile
+            yield self._sub_ids[rp * plan.col_tiles + cp], r, c0, \
+                min(c0 + plan.col_tile, d)
+
+    def insert(self, patterns: np.ndarray) -> List[int]:
+        """Add rules to the live store; returns their stable ids.
+
+        Deleted slots are reused first; past those, inserts extend into
+        the machine's padded row capacity.  A full store raises
+        :class:`~repro.runtime.session.StoreOverflow` — nothing is
+        written.  Each insert charges one row write per column tile, not
+        a re-program.
+        """
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
+        if patterns.shape[1] != self.patterns.shape[1]:
+            raise ValueError(
+                f"pattern width {patterns.shape[1]} does not match store "
+                f"width {self.patterns.shape[1]}"
+            )
+        ids: List[int] = []
+        for row in patterns:
+            if self._free:
+                slot = self._free.pop(0)
+            elif self._window < self._capacity:
+                slot = self._window
+                self._window += 1
+            else:
+                raise StoreOverflow(
+                    f"pattern store is full: {self._capacity} rows in use "
+                    "and the machine cannot grow"
+                )
+            for sub, r, c0, c1 in self._slot_tiles(slot):
+                self.setup_time += self.machine.write_value(
+                    sub, row[c0:c1], row_offset=r, at=self.setup_time
+                )
+            pid = self._next_id
+            self._next_id += 1
+            self._alive[slot] = True
+            self._slot_ids[slot] = pid
+            self._slot_of[pid] = slot
+            self._rows[pid] = row.copy()
+            ids.append(pid)
+        self._mutated = True
+        return ids
+
+    def delete(self, ids) -> None:
+        """Tombstone rules by id; their slots are masked from every
+        lookup and reused by later inserts."""
+        ids = [int(i) for i in dict.fromkeys(np.atleast_1d(ids).tolist())]
+        missing = [i for i in ids if i not in self._slot_of]
+        if missing:
+            raise KeyError(f"no stored pattern(s) with id(s) {missing}")
+        for pid in ids:
+            slot = self._slot_of.pop(pid)
+            del self._rows[pid]
+            self._alive[slot] = False
+            self._slot_ids[slot] = -1
+            for sub, r, _c0, _c1 in self._slot_tiles(slot):
+                self.setup_time += self.machine.erase(
+                    sub, row_offset=r, row_count=1, at=self.setup_time
+                )
+            self._free.append(slot)
+        self._free.sort()
+        self._mutated = True
+
+    def update(self, pattern_id: int, pattern: np.ndarray) -> None:
+        """Rewrite one rule in place (same id, per-row write energy)."""
+        pattern_id = int(pattern_id)
+        if pattern_id not in self._slot_of:
+            raise KeyError(f"no stored pattern with id {pattern_id}")
+        row = np.asarray(pattern, dtype=np.float64).reshape(-1)
+        if row.shape[0] != self.patterns.shape[1]:
+            raise ValueError(
+                f"pattern width {row.shape[0]} does not match store "
+                f"width {self.patterns.shape[1]}"
+            )
+        slot = self._slot_of[pattern_id]
+        for sub, r, c0, c1 in self._slot_tiles(slot):
+            self.setup_time += self.machine.write_value(
+                sub, row[c0:c1], row_offset=r, at=self.setup_time
+            )
+        self._rows[pattern_id] = row.copy()
+        self._mutated = True
 
     # ------------------------------------------------------------- queries
     def lookup(self, query: np.ndarray, threshold: float = 0.0) -> MatchResult:
@@ -147,11 +262,15 @@ class PatternMatcher:
         m.begin_query()
         self._queries += n_queries
         t0 = self._time + self.tech.frontend_latency(self.spec)
-        scores = np.zeros((n_queries, plan.patterns))
+        window = self._window
+        scores = np.zeros((n_queries, window))
         phase = 0.0
         search_type = "exact" if threshold == 0.0 else "threshold"
         for lin, sub in enumerate(self._sub_ids):
             rp, cp = lin // plan.col_tiles, lin % plan.col_tiles
+            row0 = rp * plan.row_tile
+            if row0 >= window:
+                continue   # tiles past the live row prefix hold no rules
             qslice = queries[:, cp * plan.col_tile : (cp + 1) * plan.col_tile]
             dur = m.search(
                 sub, qslice, search_type=search_type, metric="hamming",
@@ -160,23 +279,26 @@ class PatternMatcher:
             phase = max(phase, dur)
             vals, _idx, rdur = m.read_batch(sub, plan.row_tile, at=t0 + dur)
             phase = max(phase, dur + rdur / n_queries)
-            n = min(vals.shape[-1], plan.patterns - rp * plan.row_tile)
-            row0 = rp * plan.row_tile
+            n = min(vals.shape[-1], window - row0)
             scores[:, row0 : row0 + n] += vals[:, :n]
             m.merge("subarray", n, at=t0 + phase, n_queries=n_queries)
         per_query = (
             self.tech.frontend_latency(self.spec) + phase
             + 3 * self.tech.merge_latency("array")
-            + self.tech.host_topk_latency(plan.patterns)
+            + self.tech.host_topk_latency(window)
         )
         self._time += n_queries * per_query
         mask = threshold_match(scores, threshold, prefers_larger=False)
+        mask &= self._alive[None, :window]
         results = []
         for i, row in enumerate(mask):
             hits = np.flatnonzero(row)
+            ids = self._slot_ids[hits]
+            order = np.argsort(ids)   # stable ids, ascending-id contract
             results.append(
                 MatchResult(
-                    indices=hits.astype(np.int64), distances=scores[i][hits]
+                    indices=ids[order].astype(np.int64),
+                    distances=scores[i][hits][order],
                 )
             )
         return results
@@ -209,6 +331,12 @@ class PatternMatcher:
         don't run synchronous lookups on it while the engine is live)
         and load-balances micro-batches across them.
         """
+        if num_replicas > 1 and self._mutated:
+            raise ValueError(
+                "cannot replicate a mutated matcher: fresh replicas would "
+                "renumber pattern ids; serve with num_replicas=1 or "
+                "replicate before mutating"
+            )
         matchers = [self] + [
             type(self)(self.patterns, self.spec, self.tech)
             for _ in range(num_replicas - 1)
@@ -287,10 +415,81 @@ class ShardedPatternMatcher:
         self._queries = 0
         self._merge_time = 0.0
         self._merge_energy = 0.0
+        # Per-shard local id -> global id.  Initially gid = offset +
+        # local; inserts keep ids globally unique and stable while slots
+        # are reused inside whichever shard had room.
+        self._gid_of: List[dict] = [
+            {local: offset + local for local in range(s.patterns.shape[0])}
+            for s, offset in zip(self.shards, self.row_offsets)
+        ]
+        self._next_gid = n
+        self._mutated = False
 
     @property
     def num_shards(self) -> int:
         return len(self.shards)
+
+    # ----------------------------------------------------------- mutations
+    @property
+    def pattern_count(self) -> int:
+        """Live patterns across all shards."""
+        return sum(shard.pattern_count for shard in self.shards)
+
+    def row_ids(self) -> List[int]:
+        """Live global pattern ids, ascending."""
+        out: List[int] = []
+        for mapping in self._gid_of:
+            out.extend(mapping.values())
+        return sorted(out)
+
+    def insert(self, patterns: np.ndarray) -> List[int]:
+        """Add rules; returns stable global ids.
+
+        Each row lands in the first shard with a free or padded slot;
+        when every shard is full a fresh one-row shard (its own machine)
+        is appended — the store grows, it never re-shards.
+        """
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
+        gids: List[int] = []
+        for row in patterns:
+            local = None
+            for j, shard in enumerate(self.shards):
+                try:
+                    local = shard.insert(row)[0]
+                    break
+                except StoreOverflow:
+                    continue
+            else:
+                shard = PatternMatcher(row[None, :], self.spec, self.tech)
+                self.shards.append(shard)
+                self.row_offsets.append(self._next_gid)
+                self._gid_of.append({})
+                j, local = len(self.shards) - 1, 0
+            gid = self._next_gid
+            self._next_gid += 1
+            self._gid_of[j][local] = gid
+            gids.append(gid)
+        self._mutated = True
+        return gids
+
+    def delete(self, ids) -> None:
+        """Tombstone rules by global id across shards."""
+        ids = [int(i) for i in dict.fromkeys(np.atleast_1d(ids).tolist())]
+        where = {}
+        for j, mapping in enumerate(self._gid_of):
+            for local, gid in mapping.items():
+                where[gid] = (j, local)
+        missing = [g for g in ids if g not in where]
+        if missing:
+            raise KeyError(f"no stored pattern(s) with id(s) {missing}")
+        by_shard: dict = {}
+        for gid in ids:
+            j, local = where[gid]
+            by_shard.setdefault(j, []).append(local)
+            del self._gid_of[j][local]
+        for j, locals_ in by_shard.items():
+            self.shards[j].delete(locals_)
+        self._mutated = True
 
     # ------------------------------------------------------------- queries
     def lookup(self, query: np.ndarray, threshold: float = 0.0) -> MatchResult:
@@ -327,16 +526,21 @@ class ShardedPatternMatcher:
         for q in range(n_queries):
             indices = np.concatenate(
                 [
-                    results[q].indices + offset
-                    for results, offset in zip(per_shard, self.row_offsets)
+                    np.array(
+                        [mapping[int(l)] for l in results[q].indices],
+                        dtype=np.int64,
+                    )
+                    for results, mapping in zip(per_shard, self._gid_of)
                 ]
             )
             distances = np.concatenate(
                 [results[q].distances for results in per_shard]
             )
+            order = np.argsort(indices)   # ascending-global-id contract
             merged.append(
                 MatchResult(
-                    indices=indices.astype(np.int64), distances=distances
+                    indices=indices[order].astype(np.int64),
+                    distances=distances[order],
                 )
             )
         return merged
@@ -366,6 +570,12 @@ class ShardedPatternMatcher:
         """Async lookups over the sharded store; see
         :meth:`PatternMatcher.serve`.  Each replica is a full shard
         group (every replica holds all rows across its own machines)."""
+        if num_replicas > 1 and self._mutated:
+            raise ValueError(
+                "cannot replicate a mutated matcher: fresh replicas would "
+                "renumber pattern ids; serve with num_replicas=1 or "
+                "replicate before mutating"
+            )
         matchers = [self] + [
             ShardedPatternMatcher(
                 self.patterns, self.spec, self.tech,

@@ -9,6 +9,7 @@ Mirrors an ``mlir-opt``-style workflow on the built-in HDC workload:
     python -m repro.cli --banks 1 --patterns 512 --shards 4  # multi-machine
     python -m repro.cli --replicas 2 --serve --batch 16  # async serving
     python -m repro.cli --tenants 3 --banks 2  # multi-tenant placement
+    python -m repro.cli --mutate --patterns 12  # live insert/delete/update
 
 The driver traces the paper's Fig. 4a kernel on synthetic data, runs the
 requested pipeline, optionally prints the IR, executes on the simulated
@@ -91,6 +92,13 @@ def make_parser() -> argparse.ArgumentParser:
         "--priority", type=int, default=1, metavar="P",
         help="priority class the --cluster demo's urgent tenants "
         "submit at (higher dispatches first; default 1)",
+    )
+    p.add_argument(
+        "--mutate", action="store_true",
+        help="demo the mutable store: query, then delete the best "
+        "match, insert fresh patterns and update one in place — "
+        "re-querying on the live machine with per-row write energy "
+        "instead of a re-program (honours --banks and --shards)",
     )
     p.add_argument(
         "--serve", action="store_true",
@@ -339,6 +347,50 @@ def run_cluster_demo(args, spec: ArchSpec) -> int:
     return 0
 
 
+def run_mutate_demo(args, kernel, queries) -> int:
+    """``--mutate``: exercise insert/delete/update on the live store.
+
+    Queries, tombstones the first query's best match, inserts two fresh
+    patterns, rewrites one survivor in place, and re-queries — all on
+    the machine programmed by the first call.  Prints the incremental
+    rows written by the mutations next to the store size so the
+    delta-vs-reprogram saving is visible.
+    """
+    rng = np.random.default_rng(args.seed + 2)
+    _values, indices = kernel.run_batch(queries)
+    print(f"before: indices {indices.ravel().tolist()} "
+          f"({kernel.pattern_count} stored patterns)")
+    session = kernel.session()
+    written0 = getattr(session, "rows_written", None)
+    victim = int(indices[0, 0])
+    kernel.delete([victim])
+    new_ids = kernel.insert(
+        rng.choice([-1.0, 1.0], (2, args.dims)).astype(np.float32)
+    )
+    survivor = kernel.row_ids()[0]
+    kernel.update(
+        survivor, rng.choice([-1.0, 1.0], args.dims).astype(np.float32)
+    )
+    print(f"deleted pattern {victim}, inserted {new_ids}, "
+          f"updated {survivor} in place")
+    _values, indices = kernel.run_batch(queries)
+    print(f"after:  indices {indices.ravel().tolist()} "
+          f"({kernel.pattern_count} stored patterns)")
+    if written0 is not None:
+        delta = session.rows_written - written0
+        print(
+            f"mutations wrote {delta} subarray row(s) incrementally — "
+            f"a re-program would rewrite the full store"
+        )
+    moved = kernel.compact()
+    print(f"compaction reclaimed the tombstone ({moved} row(s) moved)")
+    if args.stats:
+        print(format_report(kernel.last_report, kernel.last_machine))
+    else:
+        print(kernel.last_report.summary())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
@@ -373,6 +425,13 @@ def main(argv=None) -> int:
         parser.error("--cluster cannot be combined with --tenants, "
                      "--shards, --dump-ir or --pipeline (the demo "
                      "drives its own compilation)")
+    if args.mutate and (
+        args.serve or args.tenants is not None or args.cluster is not None
+        or args.dump_ir or args.pipeline
+    ):
+        parser.error("--mutate cannot be combined with --serve, "
+                     "--tenants, --cluster, --dump-ir or --pipeline "
+                     "(it drives the synchronous kernel API)")
     spec = load_spec(args)
     compiler = C4CAMCompiler(spec)
     if args.cluster is not None:
@@ -440,6 +499,8 @@ def main(argv=None) -> int:
         print(f"sharded across {kernel.num_shards} machines")
     if kernel.num_replicas > 1:
         print(f"replicated across {kernel.num_replicas} copies")
+    if args.mutate:
+        return run_mutate_demo(args, kernel, queries)
     if args.serve:
         rng = np.random.default_rng(args.seed + 1)
         n_requests = args.batch or args.queries

@@ -240,6 +240,7 @@ class CompiledKernel:
         self.last_report: Optional[ExecutionReport] = None
         self.last_machine: Optional[CamMachine] = None
         self._session: Optional[QuerySession] = None
+        self._initial_state = None   # store snapshot at first open
         self._program_serves_function: Optional[bool] = None
         # Device noise decorrelates across calls: every execution draws a
         # fresh child seed from one deterministic SeedSequence, so equal
@@ -327,15 +328,82 @@ class CompiledKernel:
             return self._open_session()
         if self._session is None:
             self._session = self._open_session()
+            if hasattr(self._session, "store_state"):
+                self._initial_state = self._session.store_state()
         return self._session
 
-    def reset(self) -> None:
-        """Drop the cached session: the next call re-allocates and
-        re-programs a fresh machine (and restarts the noise sequence)."""
+    def reset(self, reprogram: bool = True) -> None:
+        """Return the kernel to its compiled state.
+
+        ``reprogram=True`` (default) drops the cached session: the next
+        call re-allocates and re-programs a fresh machine (and restarts
+        the noise sequence) — the full re-deployment.
+
+        ``reprogram=False`` keeps the live machine and instead *restores*
+        the compiled store through the incremental mutation path: only
+        rows that actually differ from the compiled parameters are
+        rewritten, so resetting an unchanged store charges **zero**
+        additional row writes (where the old path re-charged the full
+        programming pass).  Query-side state and accounting clear either
+        way.  Requires a cached, mutation-capable session; falls back to
+        the full re-program when there is nothing to restore.
+        """
+        if not reprogram and self._session is not None \
+                and self._initial_state is not None:
+            self._session.restore(self._initial_state)
+            self._session.reset()
+            self.last_report = None
+            return
         self._session = None
+        self._initial_state = None
         self.last_report = None
         self.last_machine = None
         self._noise_seq = np.random.SeedSequence(self.noise_seed)
+
+    # ------------------------------------------------------------ mutations
+    # Live-store mutations (see repro.runtime.session): they require the
+    # cached session path, so interpreter-only kernels and
+    # cache_session=False kernels raise SessionError on first use.
+    def _mutable_session(self):
+        if not self.cache_session:
+            raise SessionError(
+                "store mutations need the cached session "
+                "(cache_session=True): a fresh-machine-per-call kernel "
+                "forgets every mutation on the next call"
+            )
+        return self.session()
+
+    @property
+    def pattern_count(self) -> int:
+        """Live stored patterns on the kernel's session."""
+        return self._mutable_session().pattern_count
+
+    def row_ids(self) -> List[int]:
+        """Ids of the live patterns in rank order."""
+        return self._mutable_session().row_ids()
+
+    def insert(self, patterns) -> List[int]:
+        """Append patterns to the live store; returns their stable ids.
+
+        Incremental: only the new rows are written (per-row write
+        energy), never a full re-program.  While a :meth:`serve` engine
+        is running, mutate through ``engine.mutate(...)`` instead so the
+        write serializes against in-flight batches.
+        """
+        return self._mutable_session().insert(patterns)
+
+    def delete(self, ids) -> None:
+        """Tombstone stored patterns by id (masked out of every query
+        until compaction reclaims their rows)."""
+        self._mutable_session().delete(ids)
+
+    def update(self, pattern_id: int, pattern) -> None:
+        """Rewrite one stored pattern in place."""
+        self._mutable_session().update(pattern_id, pattern)
+
+    def compact(self) -> int:
+        """Defragment the live store; returns rows moved."""
+        return self._mutable_session().compact()
 
     def run_batch(self, queries: np.ndarray) -> List[np.ndarray]:
         """Answer a ``B×D`` query batch on the live session machine(s).

@@ -177,20 +177,49 @@ class LaneStats:
     its silicon footprint but re-charges neither write energy nor setup
     latency — summing epoch reports then counts each programming pass
     exactly once.
+
+    The setup baseline is *live*, not a snapshot: mutable stores keep
+    writing after the lane opens (incremental inserts, deletes and
+    compaction moves), and those per-row charges must show up in the
+    lane's report.  The lane therefore re-reads
+    :meth:`ExecutionBackend.setup_report` on every :meth:`report` and,
+    for a ``charge_setup=False`` lane, subtracts the programming already
+    billed to earlier epochs.
     """
 
     def __init__(self, backend, charge_setup: bool = True):
-        base = backend.setup_report()
-        if not charge_setup:
-            base = replace(
-                base, setup_latency_ns=0.0, energy=EnergyBreakdown()
-            )
-        self.base = base
+        self._backend = backend
+        if charge_setup:
+            self._setup_offset_ns = 0.0
+            self._write_offset_pj = 0.0
+            self._rows_offset = 0
+        else:
+            snapshot = backend.setup_report()
+            self._setup_offset_ns = snapshot.setup_latency_ns
+            self._write_offset_pj = snapshot.energy.write
+            self._rows_offset = snapshot.rows_written
         self.latency_ns = 0.0
         self.queries = 0
         self.searches = 0
         self.cycles = 0
         self.energy = EnergyBreakdown()
+
+    @property
+    def base(self) -> ExecutionReport:
+        """The lane's current setup baseline (live, offsets deducted)."""
+        base = self._backend.setup_report()
+        if self._setup_offset_ns or self._write_offset_pj or self._rows_offset:
+            energy = EnergyBreakdown(**base.energy.as_dict())
+            energy.write = max(0.0, energy.write - self._write_offset_pj)
+            base = replace(
+                base,
+                setup_latency_ns=max(
+                    0.0, base.setup_latency_ns - self._setup_offset_ns
+                ),
+                energy=energy,
+                rows_written=max(0, base.rows_written - self._rows_offset),
+            )
+        return base
 
     def add(self, report: ExecutionReport) -> None:
         """Fold one batch report into the lane.
@@ -207,18 +236,20 @@ class LaneStats:
                 setattr(self.energy, key, getattr(self.energy, key) + value)
 
     def report(self) -> ExecutionReport:
+        base = self.base
         energy = EnergyBreakdown(**self.energy.as_dict())
-        energy.write = self.base.energy.write
+        energy.write = base.energy.write
         return ExecutionReport(
             query_latency_ns=self.latency_ns,
-            setup_latency_ns=self.base.setup_latency_ns,
+            setup_latency_ns=base.setup_latency_ns,
             energy=energy,
-            banks_used=self.base.banks_used,
-            mats_used=self.base.mats_used,
-            arrays_used=self.base.arrays_used,
-            subarrays_used=self.base.subarrays_used,
+            banks_used=base.banks_used,
+            mats_used=base.mats_used,
+            arrays_used=base.arrays_used,
+            subarrays_used=base.subarrays_used,
             searches=self.searches,
             search_cycles=self.cycles,
+            rows_written=base.rows_written,
             queries=self.queries,
-            spec=self.base.spec,
+            spec=base.spec,
         )

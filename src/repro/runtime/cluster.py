@@ -47,8 +47,9 @@ tenant admitted then evicted still shows up in the lifetime energy.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -71,7 +72,7 @@ from .placement import (
     tenant_demand,
 )
 from .serving import PriorityIntake, ServingEngine
-from .session import QuerySession
+from .session import QuerySession, StoreOverflow
 from .sharding import ShardedSession, ShardSet
 
 __all__ = ["Cluster", "ClusterShutdown"]
@@ -123,6 +124,7 @@ class _Tenant:
     __slots__ = (
         "tenant_id", "kind", "program", "shard_set", "func_name", "width",
         "lanes", "retired_lanes", "epoch_reports", "scaling",
+        "store_state", "extra_groups", "initial_gids",
     )
 
     def __init__(self, tenant_id, kind, program, shard_set, func_name,
@@ -139,6 +141,17 @@ class _Tenant:
         #: This tenant's closed accounting epochs.
         self.epoch_reports: List[ExecutionReport] = []
         self.scaling = False
+        #: Live-store snapshot after the last mutation (None = the
+        #: store still equals the compiled parameters); a defrag rebuild
+        #: replays it onto the fresh machine.
+        self.store_state = None
+        #: Growth groups (whole-bank units) the store has claimed past
+        #: its compiled footprint — inflates the placement demand so a
+        #: re-pack reserves room instead of evicting.
+        self.extra_groups = 0
+        #: Sharded tenants: the per-shard initial gid assignment the
+        #: replay needs to reproduce the parent's id space.
+        self.initial_gids = None
 
 
 class Cluster(ExecutionBackend, MachineGroupView):
@@ -481,16 +494,28 @@ class Cluster(ExecutionBackend, MachineGroupView):
         record.serve = self._make_serve(record)
         tenant.lanes.append(record)
 
+    def _tenant_demand(self, tenant: _Tenant):
+        """The tenant's bank demand, inflated by its store growth so a
+        re-pack reserves the banks its grown store needs."""
+        demand = tenant_demand(tenant.tenant_id, tenant.program.plan,
+                               self.spec)
+        if tenant.extra_groups:
+            unit = max(
+                1, self.spec.banks_needed(tenant.program.plan.col_tiles)
+            )
+            demand = dataclasses.replace(
+                demand, banks=demand.banks + tenant.extra_groups * unit
+            )
+        return demand
+
     def _live_demands(self, extra: Optional[_Tenant] = None):
         demands = [
-            tenant_demand(tid, self._tenants[tid].program.plan, self.spec)
+            self._tenant_demand(self._tenants[tid])
             for tid in self._admit_order
             if self._tenants[tid].kind == "placed"
         ]
         if extra is not None:
-            demands.append(
-                tenant_demand(extra.tenant_id, extra.program.plan, self.spec)
-            )
+            demands.append(self._tenant_demand(extra))
         return demands
 
     def _admit_placed(self, tenant: _Tenant) -> None:
@@ -570,6 +595,14 @@ class Cluster(ExecutionBackend, MachineGroupView):
             noise_seed=self._noise_seq.spawn(1)[0],
             machine=machine,
         )
+        # Pre-grow to the recorded growth footprint (deterministic bank
+        # usage, matching the inflated placement demand), then replay
+        # the live store onto the fresh machine with incremental
+        # mutations.
+        while session.growth_groups < tenant.extra_groups:
+            session.grow()
+        if tenant.store_state is not None:
+            session.restore(tenant.store_state)
         record = _LaneRecord(
             session, self._shared_locks[index], LaneStats(session),
             machine_index=index, bank_offset=offset,
@@ -808,6 +841,126 @@ class Cluster(ExecutionBackend, MachineGroupView):
             record = self._require(tid).lanes[0]
         return record.serve(np.asarray(queries, dtype=np.float64), tid)
 
+    # ------------------------------------------------------------ mutations
+    def insert(self, patterns, tenant: Optional[str] = None) -> List[int]:
+        """Append patterns to a tenant's live store; returns stable ids.
+
+        The mutation lands on the tenant's primary lane under its
+        machine lock (in-flight batches finish first) and mirrors onto
+        every scaled lane before returning — the completion barrier
+        after which no lane serves the old store.  A placed tenant that
+        outgrows its banks triggers a defragmenting **re-placement**
+        with its demand inflated by the growth (not an eviction); a
+        sharded tenant splits a new shard instead.
+        """
+        return self._mutate(tenant, lambda backend: backend.insert(patterns))
+
+    def delete(self, ids, tenant: Optional[str] = None) -> None:
+        """Tombstone stored patterns of a tenant by id."""
+        self._mutate(tenant, lambda backend: backend.delete(ids))
+
+    def update(self, pattern_id: int, pattern,
+               tenant: Optional[str] = None) -> None:
+        """Rewrite one stored pattern of a tenant in place."""
+        self._mutate(
+            tenant, lambda backend: backend.update(pattern_id, pattern)
+        )
+
+    def compact(self, tenant: Optional[str] = None) -> int:
+        """Defragment a tenant's store; returns rows moved."""
+        return self._mutate(tenant, lambda backend: backend.compact())
+
+    def pattern_count(self, tenant: Optional[str] = None) -> int:
+        """A tenant's live stored-pattern count."""
+        with self._admit_lock:
+            record = self._require(self._resolve_tenant(tenant)).lanes[0]
+        return record.backend.pattern_count
+
+    def row_ids(self, tenant: Optional[str] = None) -> List[int]:
+        """A tenant's live pattern ids in rank order."""
+        with self._admit_lock:
+            record = self._require(self._resolve_tenant(tenant)).lanes[0]
+        return record.backend.row_ids()
+
+    def _mutate(self, tenant: Optional[str], op: Callable):
+        """Run ``op`` on the tenant's primary backend, growing the
+        placement on overflow, then mirror the store to scaled lanes."""
+        tid = self._resolve_tenant(tenant)
+        while True:
+            with self._admit_lock:
+                if self._closed:
+                    raise SessionError(
+                        "the cluster is shut down; no mutations"
+                    )
+                tenant_rec = self._require(tid)
+                record = tenant_rec.lanes[0]
+            generation = record.generation
+            backend, lock = record.backend, record.lock
+            grow = False
+            with lock:
+                if record.generation != generation:
+                    continue  # defragged while waiting: rebind
+                try:
+                    result = op(backend)
+                except StoreOverflow:
+                    if tenant_rec.kind != "placed":
+                        raise
+                    grow = True
+                else:
+                    state = backend.store_state()
+                    groups = getattr(backend, "growth_groups", 0)
+                    initial = getattr(backend, "_initial_gids", None)
+                    shard_set = getattr(backend, "shard_set", None)
+                    banks = getattr(backend, "banks_used", None)
+            if not grow:
+                break
+            self._grow_tenant(tid)
+        with self._admit_lock:
+            tenant_rec = self._tenants.get(tid)
+            scaled: List[_LaneRecord] = []
+            if tenant_rec is not None:
+                tenant_rec.store_state = state
+                tenant_rec.extra_groups = groups
+                if initial is not None:
+                    tenant_rec.initial_gids = [list(g) for g in initial]
+                if shard_set is not None and tenant_rec.kind == "sharded":
+                    tenant_rec.shard_set = shard_set
+                if banks is not None and record.machine_index is not None:
+                    record.banks = banks
+                scaled = list(tenant_rec.lanes[1:])
+        # Completion barrier: every scaled lane adopts the new store
+        # (under its own lock, so an in-flight batch drains first)
+        # before the mutation returns to the caller.
+        for rec in scaled:
+            with rec.lock:
+                rec.backend.restore(state)
+        return result
+
+    @staticmethod
+    def _replay_op(state, initial_gids) -> Callable:
+        """An op that drives a freshly admitted backend to ``state``
+        (clone/reset carry live stores across re-admission)."""
+        def op(backend):
+            if initial_gids is not None and hasattr(backend, "_seed_gids"):
+                backend._seed_gids(initial_gids)
+            backend.restore(state)
+        return op
+
+    def _grow_tenant(self, tenant_id: str) -> None:
+        """A placed tenant's store outgrew its machine's free banks:
+        reserve one more growth group and re-pack the fleet around it
+        (re-placement, not eviction).  Raises
+        :class:`~repro.runtime.placement.PlacementError` when even a
+        re-pack cannot hold the grown tenant."""
+        with self._admit_lock:
+            tenant = self._require(tenant_id)
+            tenant.extra_groups += 1
+            try:
+                self._defragment(reason="grow")
+            except Exception:
+                tenant.extra_groups -= 1
+                raise
+
     def _ensure_engine(self) -> ServingEngine:
         with self._admit_lock:
             if self._closed:
@@ -1031,6 +1184,11 @@ class Cluster(ExecutionBackend, MachineGroupView):
                 shim = _ShardedSource(tenant.shard_set, self.spec,
                                       self.tech, tenant.func_name)
                 other.admit(shim, tenant_id=tid)
+            if tenant.store_state is not None:
+                other._mutate(
+                    tid,
+                    self._replay_op(tenant.store_state, tenant.initial_gids),
+                )
         return other
 
     def reset(self) -> None:
@@ -1064,6 +1222,11 @@ class Cluster(ExecutionBackend, MachineGroupView):
                 shim = _ShardedSource(tenant.shard_set, self.spec,
                                       self.tech, tenant.func_name)
                 self.admit(shim, tenant_id=tid)
+            if tenant.store_state is not None:
+                self._mutate(
+                    tid,
+                    self._replay_op(tenant.store_state, tenant.initial_gids),
+                )
 
     def shutdown(self, wait: bool = True, abort: bool = False) -> None:
         """Stop serving.  ``wait=True`` drains every submitted future;

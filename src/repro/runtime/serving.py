@@ -218,6 +218,42 @@ class ReplicatedSession(ExecutionBackend, MachineGroupView):
             )
         return self.run_on(index, queries, tenant=tenant)
 
+    # ------------------------------------------------------------ mutations
+    # Store mutations apply to *every* replica: clones share the initial
+    # store and id assignment is deterministic (ids are handed out in
+    # call order), so the same mutation sequence keeps all copies — and
+    # their id spaces — identical.
+    @property
+    def pattern_count(self) -> int:
+        return self.replicas[0].pattern_count
+
+    def row_ids(self) -> List[int]:
+        return self.replicas[0].row_ids()
+
+    def insert(self, patterns) -> List[int]:
+        """Append patterns on every replica; one id list (identical
+        across copies) comes back."""
+        ids = [replica.insert(patterns) for replica in self.replicas]
+        return ids[0]
+
+    def delete(self, ids) -> None:
+        for replica in self.replicas:
+            replica.delete(ids)
+
+    def update(self, pattern_id: int, pattern) -> None:
+        for replica in self.replicas:
+            replica.update(pattern_id, pattern)
+
+    def compact(self) -> int:
+        return max(replica.compact() for replica in self.replicas)
+
+    def store_state(self):
+        return self.replicas[0].store_state()
+
+    def restore(self, state) -> None:
+        for replica in self.replicas:
+            replica.restore(state)
+
     # -------------------------------------------------------------- report
     def lane_reports(self) -> List[ExecutionReport]:
         """One serialized report per replica lane (setup charged once)."""
@@ -490,7 +526,10 @@ class _Lane:
         self.backend = backend
         self.serve = serve            # (queries, tenant) -> result
         self.tenant = tenant          # affinity: None serves any tenant
-        self.lock = lock              # machine lock for colocated backends
+        # Machine lock for colocated backends; a private lock otherwise.
+        # Every lane serves under its lock so store mutations
+        # (ServingEngine.mutate) serialize against in-flight batches.
+        self.lock = lock if lock is not None else threading.Lock()
         self.inbox: queue.Queue = queue.Queue()
         self.thread: Optional[threading.Thread] = None
         self.outstanding = 0          # dispatched, unfinished rows
@@ -749,6 +788,44 @@ class ServingEngine:
         pending = getattr(self._intake, "pending_rows", None)
         return 0 if pending is None else pending(tenant)
 
+    def mutate(self, fn: Callable, tenant: Optional[str] = None) -> List:
+        """Apply a store mutation to every serving lane, safely
+        interleaved with in-flight query batches.
+
+        ``fn(backend)`` runs once per distinct lane backend (replica),
+        under that lane's lock — a batch being served on the lane
+        finishes first, and the lane's next batch sees the mutated
+        store.  ``tenant`` restricts the mutation to lanes serving that
+        tenant (its pinned lanes plus shared lanes); ``fn`` must then
+        route to the tenant's store itself.  The call returning is the
+        completion barrier: every lane has applied the mutation, so no
+        later-submitted request can observe the old store.  Returns the
+        per-backend results of ``fn``.
+        """
+        with self._lock:
+            if self._closed:
+                raise SessionError(
+                    "the serving engine is shut down; no mutations"
+                )
+            lanes = [
+                lane for lane in self._lanes
+                if lane.alive
+                and (tenant is None or lane.tenant in (None, tenant))
+            ]
+        results, seen = [], set()
+        for lane in lanes:
+            if id(lane.backend) in seen:
+                continue
+            seen.add(id(lane.backend))
+            with lane.lock:
+                results.append(fn(lane.backend))
+        if not results:
+            raise SessionError(
+                f"no serving lane accepts tenant {tenant!r}; "
+                "nothing to mutate"
+            )
+        return results
+
     def submit(
         self,
         queries: np.ndarray,
@@ -931,10 +1008,7 @@ class ServingEngine:
                 # the result — is delivered to the batch's futures; the
                 # lane itself must survive to serve later batches.
                 try:
-                    if lane.lock is not None:
-                        with lane.lock:
-                            result = lane.serve(queries, tenant)
-                    else:
+                    with lane.lock:
                         result = lane.serve(queries, tenant)
                     self._pace(lane, dispatched)
                     offset = 0

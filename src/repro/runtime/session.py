@@ -22,12 +22,24 @@ match lines serially), while the setup cost is charged once per session —
 the amortization that related batching designs (AMU, batched far-memory
 data planes) exploit.  Functionally the batched path is bitwise identical
 to ``B`` sequential interpreter walks with noise disabled.
+
+Stores are **mutable**: CAMs are write-in-place devices, so
+:meth:`QuerySession.insert`, :meth:`~QuerySession.delete` and
+:meth:`~QuerySession.update` program only the touched rows (charged per
+row through the amortized-setup model, never a full re-program).
+Deleted rows become *tombstones* — their valid bits are cleared so the
+latch path reads them as the metric's no-match value — and a background
+compaction re-packs survivors into the low slots once tombstone density
+crosses :attr:`~QuerySession.compact_threshold`.  Surviving rows always
+rank in insertion (id) order, which keeps every mutated session
+bitwise identical to a session rebuilt from scratch over the surviving
+patterns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,7 +50,47 @@ from repro.transforms.partitioning import PartitionPlan
 from .backend import ExecutionBackend, SessionError
 from .executor import Interpreter
 
-__all__ = ["QueryProgram", "QuerySession", "SessionError"]
+__all__ = [
+    "QueryProgram",
+    "QuerySession",
+    "SessionError",
+    "StoreOverflow",
+    "StoreState",
+]
+
+
+class StoreOverflow(SessionError):
+    """The mutable store cannot grow on its current machine.
+
+    Raised by :meth:`QuerySession.insert` when every slot is live and the
+    machine cannot allocate another growth bank (the spec caps banks, or
+    the mapping is density-stacked).  Higher layers recover instead of
+    failing: a :class:`~repro.runtime.sharding.ShardedSession` splits off
+    a new shard, a :class:`~repro.runtime.cluster.Cluster` re-places the
+    tenant on a roomier machine.
+    """
+
+
+@dataclass(frozen=True)
+class StoreState:
+    """A portable snapshot of a mutable store: the surviving
+    ``(id, pattern)`` rows in ascending-id order plus the id allocator
+    position — everything :meth:`QuerySession.restore` needs to replay a
+    mutated store onto a freshly programmed machine."""
+
+    rows: Tuple[Tuple[int, np.ndarray], ...]
+    next_id: int
+
+
+@dataclass
+class _RowGroup:
+    """One row-tile's physical placement: the subarrays holding its
+    column slices (ascending ``cp``), the first logical slot it backs
+    and its row window."""
+
+    subs: Tuple[int, ...]
+    base_slot: int
+    window: int
 
 
 @dataclass(frozen=True)
@@ -118,6 +170,7 @@ class QuerySession(ExecutionBackend):
         noise_sigma: float = 0.0,
         noise_seed: int = 0,
         machine: Optional[CamMachine] = None,
+        compact_threshold: float = 0.5,
     ):
         self.module = module
         self.spec = spec
@@ -157,6 +210,78 @@ class QuerySession(ExecutionBackend):
         # then reads/merges, then the top-k).
         self._time = 0.0
         self._program_machine()
+        self._init_mutable_store(compact_threshold)
+
+    def _init_mutable_store(self, compact_threshold: float) -> None:
+        """Set up the slot directory over the freshly programmed tiles.
+
+        Logical *slots* index rows across the session's row groups; each
+        stored pattern gets a stable monotonically-increasing *id*.  The
+        invariant every mutation preserves is that surviving slots in
+        ascending order hold ascending ids — so the rank a top-k reports
+        for a survivor equals its index in a store rebuilt from scratch.
+        """
+        plan = self.program.plan
+        self.compact_threshold = float(compact_threshold)
+        #: When set, :meth:`run_batch` selects this many candidates
+        #: instead of the compiled ``program.k`` — a
+        #: :class:`~repro.runtime.sharding.ShardedSession` pins it to the
+        #: *global* k so a shard that grew past its compiled row count
+        #: still surfaces enough candidates for the merge.
+        self.serve_k: Optional[int] = None
+        self.mutations = 0
+        self.compactions = 0
+        self._dead = 0
+        self._growth_groups = 0
+        #: Machine subarray ids of this session's tiles, in the linear
+        #: (``rt``-major, ``cp``-minor) plan order.  Growth appends; on a
+        #: shared machine the grown tail is not contiguous with the base.
+        self._sub_ids = list(
+            range(self.subarray_base, self.subarray_base + self.subarrays_used)
+        )
+        if plan.batches > 1:
+            # Density stacking packs the whole pattern set into every
+            # subarray's row space; the accumulator geometry is fixed, so
+            # capacity is exactly the compiled pattern count.
+            self._row_groups: List[_RowGroup] = []
+            self._capacity = plan.patterns
+        else:
+            groups = []
+            base_slot = 0
+            for rt in range(plan.row_tiles):
+                subs = tuple(
+                    self._sub_ids[rt * plan.col_tiles + cp]
+                    for cp in range(plan.col_tiles)
+                )
+                groups.append(_RowGroup(subs, base_slot, plan.row_tile))
+                base_slot += plan.row_tile
+            self._row_groups = groups
+            self._capacity = base_slot
+        self._alive = np.zeros(self._capacity, dtype=bool)
+        self._alive[: plan.patterns] = True
+        self._slot_ids: List[int] = [-1] * self._capacity
+        for slot in range(plan.patterns):
+            self._slot_ids[slot] = slot
+        self._id_to_slot = {i: i for i in range(plan.patterns)}
+        self._next_slot = plan.patterns
+        self._next_id = plan.patterns
+        # The stored-pattern matrix among the kernel parameters (host
+        # copy of every live row, for compaction moves and replay).
+        self._store_index = next(
+            (
+                i
+                for i, p in enumerate(self.parameters)
+                if getattr(p, "shape", None) == (plan.patterns, plan.features)
+            ),
+            None,
+        )
+        if self._store_index is not None:
+            store = np.asarray(
+                self.parameters[self._store_index], dtype=np.float64
+            )
+            self._rows = {i: store[i].copy() for i in range(plan.patterns)}
+        else:
+            self._rows = {}
 
     # ------------------------------------------------------------ lifecycle
     def _program_machine(self) -> None:
@@ -181,6 +306,7 @@ class QuerySession(ExecutionBackend):
         ]
         machine = self.machine
         write_before = machine.energy.write
+        rows_before = machine.rows_written
         counts_before = (
             machine.banks_used,
             machine.mats_used,
@@ -198,6 +324,7 @@ class QuerySession(ExecutionBackend):
         # shared machine the deltas scope reports to the tenant's banks;
         # on a private machine they equal the machine totals.
         self.setup_energy_pj = machine.energy.write - write_before
+        self.rows_written = machine.rows_written - rows_before
         self.banks_used = machine.banks_used - counts_before[0]
         self.mats_used = machine.mats_used - counts_before[1]
         self.arrays_used = machine.arrays_used - counts_before[2]
@@ -218,9 +345,11 @@ class QuerySession(ExecutionBackend):
         program a new machine, which a hardware replica genuinely needs.
         Device noise on the clone decorrelates from the parent by
         default (a fresh child of the parent's seed sequence); pass
-        ``noise_seed`` for an explicit stream.
+        ``noise_seed`` for an explicit stream.  A mutated store is
+        replayed onto the clone (incremental writes over the freshly
+        programmed base), so the clone answers queries identically.
         """
-        return QuerySession(
+        session = QuerySession(
             self.module,
             self.spec,
             self.tech,
@@ -232,7 +361,11 @@ class QuerySession(ExecutionBackend):
                 self._noise_seq.spawn(1)[0] if noise_seed is None
                 else noise_seed
             ),
+            compact_threshold=self.compact_threshold,
         )
+        if self.mutations or self.compactions:
+            session.restore(self.store_state())
+        return session
 
     def reset(self) -> None:
         """Clear query-side state (latches, counters); patterns survive.
@@ -248,6 +381,345 @@ class QuerySession(ExecutionBackend):
         self.last_indices = None
         self.batches_run = 0
         self._time = 0.0
+
+    # ------------------------------------------------------------ mutation
+    @property
+    def pattern_count(self) -> int:
+        """Number of live (non-tombstoned) stored patterns."""
+        return len(self._id_to_slot)
+
+    def row_ids(self) -> List[int]:
+        """Ids of the live patterns in rank order (ascending, by the
+        slot-order invariant) — maps a top-k index back to a stable id."""
+        return [
+            self._slot_ids[int(s)]
+            for s in np.flatnonzero(self._alive[: self._next_slot])
+        ]
+
+    def pattern(self, pattern_id: int) -> np.ndarray:
+        """The live pattern stored under ``pattern_id`` (a copy)."""
+        self._require_store()
+        pattern_id = int(pattern_id)
+        if pattern_id not in self._rows:
+            raise SessionError(f"no stored pattern with id {pattern_id}")
+        return self._rows[pattern_id].copy()
+
+    @property
+    def growth_groups(self) -> int:
+        """Row groups added beyond the compiled plan (bank growth)."""
+        return self._growth_groups
+
+    @property
+    def growth_bank_unit(self) -> int:
+        """Banks one growth step allocates (whole banks, so colocated
+        tenants keep bank-granular isolation)."""
+        return max(
+            1, self.spec.banks_needed(self.program.plan.col_tiles)
+        )
+
+    def _require_store(self) -> None:
+        if self._store_index is None:
+            raise SessionError(
+                "this kernel's stored-pattern matrix could not be "
+                "identified among its parameters; the store is immutable"
+            )
+
+    def _begin_mutation(self) -> Tuple[float, int]:
+        machine = self.machine
+        return machine.energy.write, machine.rows_written
+
+    def _end_mutation(self, snapshot: Tuple[float, int], duration: float):
+        """Fold one mutation's machine charges into the amortized-setup
+        model: per-row write energy, serialized write-port latency."""
+        machine = self.machine
+        self.setup_energy_pj += machine.energy.write - snapshot[0]
+        self.rows_written += machine.rows_written - snapshot[1]
+        self.setup_latency_ns += duration
+
+    def _slot_group(self, slot: int) -> _RowGroup:
+        for group in self._row_groups:
+            if group.base_slot <= slot < group.base_slot + group.window:
+                return group
+        raise SessionError(f"slot {slot} is outside the store's row groups")
+
+    def _slot_tiles(self, slot: int):
+        """Physical tiles backing ``slot``: ``(sub_id, row, c0, c1)`` for
+        every column slice (and, density-stacked, every batch copy)."""
+        plan = self.program.plan
+        features = plan.features
+        if plan.batches > 1:
+            for lin, batch, (_rp, cp) in self.program.tiles():
+                c0 = cp * plan.col_tile
+                yield (
+                    self._sub_ids[lin],
+                    batch * plan.patterns + slot,
+                    c0,
+                    min(c0 + plan.col_tile, features),
+                )
+        else:
+            group = self._slot_group(slot)
+            row = slot - group.base_slot
+            for cp, sub in enumerate(group.subs):
+                c0 = cp * plan.col_tile
+                yield sub, row, c0, min(c0 + plan.col_tile, features)
+
+    def _write_slot(self, slot: int, row: np.ndarray) -> float:
+        duration = 0.0
+        for sub, r, c0, c1 in self._slot_tiles(slot):
+            duration += self.machine.write_value(
+                sub, row[c0:c1], row_offset=r, at=self._time
+            )
+        return duration
+
+    def _erase_slot(self, slot: int) -> float:
+        duration = 0.0
+        for sub, r, _c0, _c1 in self._slot_tiles(slot):
+            duration += self.machine.erase(
+                sub, row_offset=r, row_count=1, at=self._time
+            )
+        return duration
+
+    def grow(self) -> None:
+        """Add one growth row group: ``col_tiles`` fresh subarrays in
+        whole fresh banks (bank granularity preserves tenant isolation on
+        shared machines).  Raises :class:`StoreOverflow` when the machine
+        is bank-capped or the mapping is density-stacked — nothing is
+        allocated on failure."""
+        plan = self.program.plan
+        if plan.batches > 1:
+            raise StoreOverflow(
+                "density-stacked store is at capacity: the accumulator "
+                "geometry packs the full pattern set, so the store cannot "
+                "grow in place"
+            )
+        spec, machine = self.spec, self.machine
+        subs_needed = plan.col_tiles
+        banks_needed = spec.banks_needed(subs_needed)
+        if (
+            spec.banks is not None
+            and machine.banks_used + banks_needed > spec.banks
+        ):
+            raise StoreOverflow(
+                f"store is at capacity: growing needs {banks_needed} more "
+                f"bank(s) but the machine is capped at {spec.banks} "
+                f"({machine.banks_used} in use)"
+            )
+        counts_before = (
+            machine.banks_used,
+            machine.mats_used,
+            machine.arrays_used,
+            machine.subarrays_used,
+        )
+        per_array = spec.subarrays_per_array
+        per_mat = spec.subarrays_per_mat
+        per_bank = spec.subarrays_per_bank
+        bank = mat = array = None
+        new_subs = []
+        for i in range(subs_needed):
+            if i % per_bank == 0:
+                bank = machine.alloc_bank()
+            if i % per_mat == 0:
+                mat = machine.alloc_mat(bank)
+            if i % per_array == 0:
+                array = machine.alloc_array(mat)
+            new_subs.append(machine.alloc_subarray(array))
+        self.banks_used += machine.banks_used - counts_before[0]
+        self.mats_used += machine.mats_used - counts_before[1]
+        self.arrays_used += machine.arrays_used - counts_before[2]
+        self.subarrays_used += machine.subarrays_used - counts_before[3]
+        self._sub_ids.extend(new_subs)
+        self._row_groups.append(
+            _RowGroup(tuple(new_subs), self._capacity, spec.rows)
+        )
+        self._alive = np.concatenate(
+            [self._alive, np.zeros(spec.rows, dtype=bool)]
+        )
+        self._slot_ids.extend([-1] * spec.rows)
+        self._capacity += spec.rows
+        self._growth_groups += 1
+
+    def _free_slot(self) -> int:
+        if self._next_slot >= self._capacity and self._dead:
+            self.compact()
+        if self._next_slot >= self._capacity:
+            self.grow()
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def _insert_row(self, row: np.ndarray, forced_id: Optional[int] = None):
+        snapshot = self._begin_mutation()
+        slot = self._free_slot()
+        duration = self._write_slot(slot, row)
+        self._end_mutation(snapshot, duration)
+        new_id = self._next_id if forced_id is None else int(forced_id)
+        self._next_id = max(self._next_id, new_id + 1)
+        self._slot_ids[slot] = new_id
+        self._alive[slot] = True
+        self._id_to_slot[new_id] = slot
+        self._rows[new_id] = row.copy()
+        return new_id
+
+    def insert(self, patterns) -> List[int]:
+        """Append patterns to the live store; returns their stable ids.
+
+        Only the inserted rows are programmed (write energy charged per
+        touched row through the amortized-setup model).  Capacity is
+        secured up front — compaction reclaims tombstones, then whole
+        growth banks are allocated — so either every row is inserted or
+        :class:`StoreOverflow` is raised with nothing written.
+        """
+        self._require_store()
+        rows = np.asarray(patterns, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2 or rows.shape[1] != self.program.plan.features:
+            raise SessionError(
+                f"inserted patterns must be rows of width "
+                f"{self.program.plan.features}"
+            )
+        free = (self._capacity - self._next_slot) + self._dead
+        while free < rows.shape[0]:
+            self.grow()
+            free += self.spec.rows
+        ids = [self._insert_row(row) for row in rows]
+        self.mutations += 1
+        return ids
+
+    def delete(
+        self, ids: Union[int, Iterable[int]], _compact: bool = True
+    ) -> None:
+        """Tombstone patterns by id.
+
+        Each covering tile row is erased (valid bit cleared, charged like
+        a write), so the rows vanish from every subsequent top-k without
+        re-programming anything else.  Crossing
+        :attr:`compact_threshold` tombstone density triggers a
+        defragmenting re-pack.
+        """
+        self._require_store()
+        if isinstance(ids, (int, np.integer)):
+            ids = [ids]
+        ids = list(dict.fromkeys(int(i) for i in ids))
+        unknown = [i for i in ids if i not in self._id_to_slot]
+        if unknown:
+            raise SessionError(f"no stored pattern(s) with id(s) {unknown}")
+        snapshot = self._begin_mutation()
+        duration = 0.0
+        for row_id in ids:
+            slot = self._id_to_slot.pop(row_id)
+            duration += self._erase_slot(slot)
+            self._alive[slot] = False
+            self._slot_ids[slot] = -1
+            del self._rows[row_id]
+            self._dead += 1
+        self._end_mutation(snapshot, duration)
+        self.mutations += 1
+        if _compact:
+            self._maybe_compact()
+
+    def update(self, pattern_id: int, pattern) -> None:
+        """Overwrite one live pattern in place (per-row write charge)."""
+        self._require_store()
+        row = np.asarray(pattern, dtype=np.float64).reshape(-1)
+        if row.shape[0] != self.program.plan.features:
+            raise SessionError(
+                f"updated pattern must have width "
+                f"{self.program.plan.features}"
+            )
+        pattern_id = int(pattern_id)
+        slot = self._id_to_slot.get(pattern_id)
+        if slot is None:
+            raise SessionError(f"no stored pattern with id {pattern_id}")
+        snapshot = self._begin_mutation()
+        duration = self._write_slot(slot, row)
+        self._end_mutation(snapshot, duration)
+        self._rows[pattern_id] = row.copy()
+        self.mutations += 1
+
+    def _maybe_compact(self) -> None:
+        if (
+            self._dead
+            and self._next_slot
+            and self._dead / self._next_slot > self.compact_threshold
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Re-pack survivors into the lowest slots; returns rows moved.
+
+        Reuses the defragmenting re-pack discipline: survivors move in
+        ascending slot order (targets are always already-free slots), so
+        id order — and therefore every query result — is preserved.
+        Only moved rows pay write/erase charges; an already-packed store
+        compacts for free.
+        """
+        self._require_store()
+        alive = np.flatnonzero(self._alive[: self._next_slot])
+        snapshot = self._begin_mutation()
+        duration = 0.0
+        moved = 0
+        slot_ids = [-1] * self._capacity
+        for rank, old in enumerate(alive):
+            old = int(old)
+            row_id = self._slot_ids[old]
+            slot_ids[rank] = row_id
+            self._id_to_slot[row_id] = rank
+            if old != rank:
+                duration += self._write_slot(rank, self._rows[row_id])
+                duration += self._erase_slot(old)
+                moved += 1
+        self._slot_ids = slot_ids
+        self._alive[:] = False
+        self._alive[: len(alive)] = True
+        self._next_slot = int(len(alive))
+        self._dead = 0
+        self._end_mutation(snapshot, duration)
+        self.compactions += 1
+        return moved
+
+    def store_state(self) -> StoreState:
+        """Snapshot the surviving rows (ascending id) for replay."""
+        self._require_store()
+        return StoreState(
+            rows=tuple(
+                (i, self._rows[i].copy()) for i in sorted(self._id_to_slot)
+            ),
+            next_id=self._next_id,
+        )
+
+    def restore(self, state: StoreState) -> None:
+        """Replay this store to ``state`` with the minimal mutation set.
+
+        Ids present here but absent from ``state`` are deleted, changed
+        rows are updated in place, missing ids are inserted in ascending
+        order; an unchanged store is a no-op charging zero rows.  After a
+        delete phase the store compacts once, so the bank footprint of a
+        replay is deterministic (what cluster re-placement sizes for).
+        """
+        self._require_store()
+        target = {int(i): np.asarray(row, dtype=np.float64)
+                  for i, row in state.rows}
+        current = sorted(self._id_to_slot)
+        doomed = [i for i in current if i not in target]
+        kept = [i for i in current if i in target]
+        new = sorted(i for i in target if i not in self._id_to_slot)
+        if kept and new and min(new) < max(kept):
+            # Interleaved ids cannot be appended in rank order; rebuild.
+            doomed, kept, new = current, [], sorted(target)
+        if doomed:
+            self.delete(doomed, _compact=False)
+            self.compact()
+        for i in kept:
+            if not np.array_equal(self._rows[i], target[i]):
+                self.update(i, target[i])
+        inserted = False
+        for i in new:
+            self._insert_row(target[i], forced_id=i)
+            inserted = True
+        if inserted:
+            self.mutations += 1
+        self._next_id = max(self._next_id, int(state.next_id))
 
     # ------------------------------------------------------- protocol bits
     def query_width(self, tenant: Optional[str] = None) -> int:
@@ -265,6 +737,7 @@ class QuerySession(ExecutionBackend):
             mats_used=self.mats_used,
             arrays_used=self.arrays_used,
             subarrays_used=self.subarrays_used,
+            rows_written=self.rows_written,
             queries=0,
             spec=self.spec,
         )
@@ -304,54 +777,103 @@ class QuerySession(ExecutionBackend):
         machine.begin_query()
 
         stacked = plan.batches > 1
-        window = plan.patterns if stacked else plan.row_tile
         t0 = self._time
-        base = self.subarray_base
+        alive_slots = np.flatnonzero(self._alive[: self._next_slot])
+        n_alive = int(alive_slots.size)
         # --- search: one vectorized machine call per placed tile -------
         search_end = t0
-        for lin, batch, (_rp, cp) in self.program.tiles():
-            qslice = queries[:, cp * plan.col_tile : (cp + 1) * plan.col_tile]
-            dur = machine.search(
-                base + lin, qslice,
-                search_type="best", metric=self.program.metric,
-                row_begin=batch * plan.patterns if stacked else 0,
-                row_count=window, accumulate=stacked, at=t0,
-            )
-            search_end = max(search_end, t0 + dur)
-        # --- read + merge: B×P score matrix ----------------------------
-        scores = np.zeros((n_queries, plan.patterns), dtype=np.float64)
+        if stacked:
+            window = plan.patterns
+            for lin, batch, (_rp, cp) in self.program.tiles():
+                qslice = queries[
+                    :, cp * plan.col_tile : (cp + 1) * plan.col_tile
+                ]
+                dur = machine.search(
+                    self._sub_ids[lin], qslice,
+                    search_type="best", metric=self.program.metric,
+                    row_begin=batch * plan.patterns,
+                    row_count=window, accumulate=True, at=t0,
+                )
+                search_end = max(search_end, t0 + dur)
+        else:
+            for group in self._row_groups:
+                for cp, sub in enumerate(group.subs):
+                    qslice = queries[
+                        :, cp * plan.col_tile : (cp + 1) * plan.col_tile
+                    ]
+                    dur = machine.search(
+                        sub, qslice,
+                        search_type="best", metric=self.program.metric,
+                        row_begin=0, row_count=group.window,
+                        accumulate=False, at=t0,
+                    )
+                    search_end = max(search_end, t0 + dur)
+        # --- read + merge: B×slots score matrix ------------------------
+        width = plan.patterns if stacked else self._capacity
+        scores = np.zeros((n_queries, width), dtype=np.float64)
         merge_end = search_end
-        for lin in range(plan.subarrays):
-            values, _idx, rdur = machine.read_batch(
-                base + lin, window, at=search_end
-            )
-            if stacked or plan.row_tiles == 1:
-                offset = 0
-            else:
-                offset = (lin // plan.col_tiles) * plan.row_tile
-            n = min(values.shape[-1], plan.patterns - offset)
-            if n > 0:
-                scores[:, offset : offset + n] += values[:, :n]
-            mdur = machine.merge(
-                "subarray", max(n, 0), at=search_end + rdur,
-                n_queries=n_queries,
-            )
-            merge_end = max(merge_end, search_end + rdur + mdur)
+        if stacked:
+            for lin in range(plan.subarrays):
+                values, _idx, rdur = machine.read_batch(
+                    self._sub_ids[lin], window, at=search_end
+                )
+                n = min(values.shape[-1], plan.patterns)
+                if n > 0:
+                    scores[:, :n] += values[:, :n]
+                mdur = machine.merge(
+                    "subarray", max(n, 0), at=search_end + rdur,
+                    n_queries=n_queries,
+                )
+                merge_end = max(merge_end, search_end + rdur + mdur)
+        else:
+            for group in self._row_groups:
+                used = max(
+                    0, min(group.window, self._next_slot - group.base_slot)
+                )
+                for sub in group.subs:
+                    values, _idx, rdur = machine.read_batch(
+                        sub, group.window, at=search_end
+                    )
+                    if used > 0:
+                        scores[
+                            :, group.base_slot : group.base_slot + used
+                        ] += values[:, :used]
+                    mdur = machine.merge(
+                        "subarray", used, at=search_end + rdur,
+                        n_queries=n_queries,
+                    )
+                    merge_end = max(merge_end, search_end + rdur + mdur)
         for level in ("array", "mat", "bank"):
             merge_end += machine.merge(
                 level, plan.patterns, at=merge_end, n_queries=n_queries
             )
-        # --- per-query top-k -------------------------------------------
-        values, indices, _dur = machine.select_topk_batch(
-            scores, self.program.k, self.program.largest, at=merge_end
-        )
+        # --- per-query top-k over surviving rows only ------------------
+        # Tombstones never reach the selector: the accumulate path packs
+        # live rows into slots 0..n-1, the latch path leaves them at the
+        # no-match value and the alive-slot gather drops them.  Survivor
+        # columns appear in slot order == id order, so the reported
+        # indices are exactly the ranks a rebuilt store would report.
+        if stacked:
+            scores_alive = scores[:, :n_alive]
+        elif n_alive == self._capacity:
+            scores_alive = scores
+        else:
+            scores_alive = scores[:, alive_slots]
+        k = self.program.k if self.serve_k is None else self.serve_k
+        if n_alive > 0:
+            values, indices, _dur = machine.select_topk_batch(
+                scores_alive, k, self.program.largest, at=merge_end,
+            )
+        else:
+            values = np.zeros((n_queries, 0), dtype=np.float64)
+            indices = np.zeros((n_queries, 0), dtype=np.int64)
         # The authoritative batch latency is structural (B x the
         # interpreter-measured per-query walk); advance the session
         # trace clock by it so successive batches land back-to-back.
         self._time = t0 + n_queries * self.per_query_latency_ns
         # Raw scores of the selected rows (selection ignores the WTA
         # clamp, so indices are exact; values may be clamped).
-        self.last_values = np.take_along_axis(scores, indices, axis=1)
+        self.last_values = np.take_along_axis(scores_alive, indices, axis=1)
         self.last_indices = indices
         self.last_report = self._report(before, n_queries)
         self.batches_run += 1
@@ -363,8 +885,7 @@ class QuerySession(ExecutionBackend):
         return (
             dict(machine.energy.as_dict()),
             machine.total_searches,
-            [machine.subarray(self.subarray_base + i).searches
-             for i in range(self.subarrays_used)],
+            [machine.subarray(sub).searches for sub in self._sub_ids],
         )
 
     def _standby_energy(self, latency_ns: float) -> float:
@@ -408,7 +929,7 @@ class QuerySession(ExecutionBackend):
         latency = n_queries * self.per_query_latency_ns
         energy.standby += self._standby_energy(latency)
         cycles = max(
-            (machine.subarray(self.subarray_base + i).searches - sub_before[i]
+            (machine.subarray(self._sub_ids[i]).searches - sub_before[i]
              for i in range(len(sub_before))),
             default=0,
         )
@@ -422,6 +943,7 @@ class QuerySession(ExecutionBackend):
             subarrays_used=self.subarrays_used,
             searches=machine.total_searches - searches_before,
             search_cycles=cycles,
+            rows_written=self.rows_written,
             queries=n_queries,
             spec=self.spec,
         )

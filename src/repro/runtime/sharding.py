@@ -40,8 +40,8 @@ really do burn N machines' worth of energy).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -71,7 +71,7 @@ from repro.transforms.partitioning import (
 
 from .backend import ExecutionBackend, SessionError
 from .machineview import MachineGroupView
-from .session import QuerySession
+from .session import QuerySession, StoreOverflow, StoreState
 
 
 # --------------------------------------------------------------- planning
@@ -163,6 +163,15 @@ class ShardSet:
     k: int          # the kernel's global top-k
     patterns: int
     features: int
+    #: Mutation metadata — the *cim-level* similarity semantics and
+    #: mapping config the shards were compiled with, kept so an
+    #: overflowing insert can compile a brand-new shard through the
+    #: identical pipeline.  ``None`` on hand-built shard sets, which
+    #: therefore cannot split on overflow.
+    metric: Optional[str] = None
+    sim_largest: Optional[bool] = None
+    n_queries: int = 1
+    config: Optional[MappingConfig] = None
 
     @property
     def num_shards(self) -> int:
@@ -270,7 +279,9 @@ def build_shard_set(
         )
         offset += rows
     return ShardSet(
-        shards=tuple(shards), k=k, patterns=patterns, features=features
+        shards=tuple(shards), k=k, patterns=patterns, features=features,
+        metric=metric, sim_largest=largest, n_queries=n_queries,
+        config=config,
     )
 
 
@@ -332,6 +343,24 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
         self.largest = shard_set.shards[0].program.largest
         self.last_report: Optional[ExecutionReport] = None
         self.batches_run = 0
+        # ---- mutable-store directory: global id -> (shard, local id).
+        # A shard that grew past its compiled row count must still
+        # surface enough candidates for the global merge, so each
+        # session serves the *global* k.
+        for session in self.sessions:
+            session.serve_k = self.k
+        self._gid_map: Dict[int, Tuple[int, int]] = {}
+        self._initial_gids: List[List[int]] = []
+        gid = 0
+        for si, shard in enumerate(shard_set.shards):
+            gids = list(range(gid, gid + shard.rows))
+            for local, g in enumerate(gids):
+                self._gid_map[g] = (si, local)
+            self._initial_gids.append(gids)
+            gid += shard.rows
+        self._next_gid = gid
+        self.mutations = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------ topology
     #: Aggregate machine view (:class:`MachineGroupView`): counters and
@@ -371,6 +400,7 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
             mats_used=self.mats_used,
             arrays_used=self.arrays_used,
             subarrays_used=self.subarrays_used,
+            rows_written=sum(s.rows_written for s in self.sessions),
             queries=0,
             spec=self.spec,
         )
@@ -387,10 +417,12 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
         Reuses the compiled :class:`ShardSet` (per-shard modules, plans
         and programs) untouched — no recompilation — and programs one
         fresh machine per shard, exactly what a second hardware copy of
-        the deployment costs.  Noise decorrelates from the parent unless
-        an explicit ``noise_seed`` is given.
+        the deployment costs.  A mutated store is replayed onto the
+        fresh machines via :meth:`restore`, so the clone serves the
+        *live* store, not the compile-time snapshot.  Noise decorrelates
+        from the parent unless an explicit ``noise_seed`` is given.
         """
-        return ShardedSession(
+        session = ShardedSession(
             self.shard_set,
             self.spec,
             self.tech,
@@ -401,6 +433,10 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
                 else noise_seed
             ),
         )
+        if self.mutations or self.compactions:
+            session._seed_gids(self._initial_gids)
+            session.restore(self.store_state())
+        return session
 
     def reset(self) -> None:
         """Clear query-side state on every shard; patterns survive."""
@@ -408,6 +444,201 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
             session.reset()
         self.last_report = None
         self.batches_run = 0
+
+    # ------------------------------------------------------------ mutations
+    @property
+    def pattern_count(self) -> int:
+        """Live stored patterns across every shard."""
+        return sum(session.pattern_count for session in self.sessions)
+
+    @property
+    def rows_written(self) -> int:
+        return sum(session.rows_written for session in self.sessions)
+
+    def _require_mutable(self) -> None:
+        if self.shard_set.metric is None:
+            raise SessionError(
+                "this shard set carries no mutation metadata (hand-built "
+                "via ShardSet(...)?); rebuild it with build_shard_set() "
+                "to mutate the store"
+            )
+
+    def row_ids(self) -> List[int]:
+        """Global ids of the live patterns in merge rank order."""
+        local_to_gid: List[Dict[int, int]] = [
+            {} for _ in range(len(self.sessions))
+        ]
+        for gid, (si, local) in self._gid_map.items():
+            local_to_gid[si][local] = gid
+        out: List[int] = []
+        for si, session in enumerate(self.sessions):
+            out.extend(local_to_gid[si][l] for l in session.row_ids())
+        return out
+
+    def insert(
+        self, patterns: Union[np.ndarray, Sequence[Sequence[float]]]
+    ) -> List[int]:
+        """Append patterns to the store, splitting a new shard on
+        overflow.
+
+        Rows land in the *tail* shard (its machine grows whole banks in
+        place) until that machine hits its bank cap; the overflowing row
+        then becomes the seed of a brand-new shard compiled through the
+        standard pipeline — a shard split, not a global re-shard: no
+        existing machine is re-programmed.  Returns the new global ids.
+        """
+        self._require_mutable()
+        rows = np.asarray(patterns, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2 or rows.shape[1] != self.shard_set.features:
+            raise SessionError(
+                f"insert expects rows of width {self.shard_set.features}, "
+                f"got array of shape {rows.shape}"
+            )
+        gids = [self._insert_row(row) for row in rows]
+        self.mutations += 1
+        return gids
+
+    def _insert_row(
+        self, row: np.ndarray, forced_gid: Optional[int] = None
+    ) -> int:
+        gid = self._next_gid if forced_gid is None else int(forced_gid)
+        si = len(self.sessions) - 1
+        appended = False
+        try:
+            local = self.sessions[si].insert(row)[0]
+        except StoreOverflow:
+            si, local = self._append_shard(row)
+            appended = True
+        self._next_gid = max(self._next_gid, gid + 1)
+        self._gid_map[gid] = (si, local)
+        if appended:
+            self._initial_gids[si] = [gid]
+        return gid
+
+    def _append_shard(self, row: np.ndarray) -> Tuple[int, int]:
+        """Compile and program a new single-row shard seeded with ``row``."""
+        ss = self.shard_set
+        config = ss.config or resolve_optimization(self.spec)
+        module = _build_shard_module(
+            ss.n_queries, 1, ss.features, ss.metric, ss.k, ss.sim_largest
+        )
+        cam = CimToCamPass(self.spec, config)
+        pm = PassManager()
+        pm.add(CimPartitionPass(self.spec, use_density=config.use_density))
+        pm.add(cam)
+        pm.run(module)
+        dtype = ss.shards[0].stored.dtype
+        stored = np.ascontiguousarray(row[None, :].astype(dtype))
+        prev = ss.shards[-1]
+        shard = Shard(
+            module=module,
+            stored=stored,
+            program=cam.programs[0],
+            row_offset=prev.row_offset + prev.rows,
+        )
+        self.shard_set = replace(ss, shards=ss.shards + (shard,))
+        session = QuerySession(
+            shard.module,
+            self.spec,
+            self.tech,
+            [shard.stored],
+            shard.program,
+            func_name=self.func_name,
+            noise_sigma=self.noise_sigma,
+            noise_seed=self._noise_seq.spawn(1)[0],
+        )
+        session.serve_k = self.k
+        self.sessions.append(session)
+        self._initial_gids.append([])
+        return len(self.sessions) - 1, 0
+
+    def delete(self, ids: Union[int, Sequence[int]]) -> None:
+        """Tombstone stored patterns by global id (grouped per shard)."""
+        self._require_mutable()
+        if isinstance(ids, (int, np.integer)):
+            ids = [int(ids)]
+        ids = list(dict.fromkeys(int(i) for i in ids))
+        unknown = [i for i in ids if i not in self._gid_map]
+        if unknown:
+            raise SessionError(f"no stored pattern with id {unknown[0]}")
+        by_shard: Dict[int, List[Tuple[int, int]]] = {}
+        for gid in ids:
+            si, local = self._gid_map[gid]
+            by_shard.setdefault(si, []).append((gid, local))
+        for si, pairs in sorted(by_shard.items()):
+            self.sessions[si].delete([local for _gid, local in pairs])
+            for gid, _local in pairs:
+                del self._gid_map[gid]
+        self.mutations += 1
+
+    def update(self, pattern_id: int, pattern: np.ndarray) -> None:
+        """Rewrite one stored pattern in place on its shard."""
+        self._require_mutable()
+        gid = int(pattern_id)
+        if gid not in self._gid_map:
+            raise SessionError(f"no stored pattern with id {gid}")
+        si, local = self._gid_map[gid]
+        self.sessions[si].update(local, pattern)
+        self.mutations += 1
+
+    def compact(self) -> int:
+        """Defragment every shard; returns total rows moved."""
+        self._require_mutable()
+        moved = sum(session.compact() for session in self.sessions)
+        self.compactions += 1
+        return moved
+
+    def store_state(self) -> StoreState:
+        """Snapshot of the live store: global ids and their rows."""
+        self._require_mutable()
+        rows = []
+        for gid in sorted(self._gid_map):
+            si, local = self._gid_map[gid]
+            rows.append((gid, self.sessions[si].pattern(local)))
+        return StoreState(rows=tuple(rows), next_id=self._next_gid)
+
+    def restore(self, state: StoreState) -> None:
+        """Drive the live store to ``state`` with incremental mutations.
+
+        Same cheap-diff contract as
+        :meth:`~repro.runtime.session.QuerySession.restore`: deletes,
+        in-place updates and tail inserts when the target id order
+        allows it, otherwise a delete-all + insert-all replay.
+        """
+        self._require_mutable()
+        target = {
+            int(i): np.asarray(row, dtype=np.float64) for i, row in state.rows
+        }
+        current = sorted(self._gid_map)
+        doomed = [g for g in current if g not in target]
+        kept = [g for g in current if g in target]
+        new = sorted(g for g in target if g not in self._gid_map)
+        if kept and new and min(new) < max(kept):
+            doomed, kept, new = current, [], sorted(target)
+        if doomed:
+            self.delete(doomed)
+        for gid in kept:
+            si, local = self._gid_map[gid]
+            if not np.array_equal(self.sessions[si].pattern(local), target[gid]):
+                self.update(gid, target[gid])
+        for gid in new:
+            self._insert_row(target[gid], forced_gid=gid)
+        if new:
+            self.mutations += 1
+        self._next_gid = max(self._next_gid, int(state.next_id))
+
+    def _seed_gids(self, initial_gids: List[List[int]]) -> None:
+        """Adopt a parent's per-shard initial gid assignment (clone)."""
+        self._gid_map = {}
+        self._initial_gids = [list(gids) for gids in initial_gids]
+        top = -1
+        for si, gids in enumerate(self._initial_gids):
+            for local, gid in enumerate(gids):
+                self._gid_map[gid] = (si, local)
+                top = max(top, gid)
+        self._next_gid = top + 1
 
     # ------------------------------------------------------------- queries
     def run_batch(
@@ -427,13 +658,19 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
         n_queries = queries.shape[0]
         # Candidates concatenate in row-offset order, so the stable
         # argsort's positional tie-break equals the global-row tie-break.
+        # Offsets are the *live* pattern counts (mutations shrink and
+        # grow shards independently), which reduce to the static row
+        # offsets on an unmutated store.
         values = np.concatenate(
             [session.last_values for session in self.sessions], axis=1
         )
+        offsets = np.concatenate(
+            ([0], np.cumsum([s.pattern_count for s in self.sessions])[:-1])
+        )
         indices = np.concatenate(
             [
-                output[1].astype(np.int64) + offset
-                for output, offset in zip(outputs, self.row_offsets)
+                output[1].astype(np.int64) + int(offset)
+                for output, offset in zip(outputs, offsets)
             ],
             axis=1,
         )

@@ -59,6 +59,7 @@ class CamMachine:
         self._sub_parent: Dict[int, int] = {}
         self.energy = EnergyBreakdown()
         self.total_searches = 0
+        self.rows_written = 0
 
     # ------------------------------------------------------------ allocation
     def alloc_bank(self) -> int:
@@ -127,9 +128,31 @@ class CamMachine:
         duration = self.tech.write_latency(self.spec, rows)
         energy = self.tech.write_energy(self.spec, rows)
         self.energy.write += energy
+        self.rows_written += rows
         self.trace.record(
             "write", f"subarray:{sub_id}", at, duration, energy,
             f"rows={rows} offset={row_offset}",
+        )
+        return duration
+
+    def erase(
+        self, sub_id: int, row_offset: int = 0, row_count: int = 1,
+        at: float = 0.0,
+    ) -> float:
+        """Tombstone rows (clear their valid bits); returns the duration.
+
+        Erasing drives the same write port as programming, so latency and
+        energy are charged per touched row like :meth:`write_value`.
+        """
+        sub = self._subarrays[sub_id]
+        sub.invalidate(row_offset, row_count)
+        duration = self.tech.write_latency(self.spec, row_count)
+        energy = self.tech.write_energy(self.spec, row_count)
+        self.energy.write += energy
+        self.rows_written += row_count
+        self.trace.record(
+            "erase", f"subarray:{sub_id}", at, duration, energy,
+            f"rows={row_count} offset={row_offset}",
         )
         return duration
 
@@ -381,5 +404,6 @@ class CamMachine:
             subarrays_used=self.subarrays_used,
             searches=self.total_searches,
             search_cycles=max_cycles,
+            rows_written=self.rows_written,
             spec=self.spec,
         )

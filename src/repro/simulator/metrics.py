@@ -93,6 +93,10 @@ class ExecutionReport:
     subarrays_used: int = 0
     searches: int = 0
     search_cycles: int = 0
+    #: Physical rows touched by the write port (initial programming plus
+    #: incremental inserts/updates/erases) — the unit the amortized-setup
+    #: model charges mutation energy in.
+    rows_written: int = 0
     queries: int = 1
     #: The architecture this report was measured on (``None`` for legacy
     #: or host-path reports).  The multi-machine combiners refuse to mix
@@ -165,6 +169,7 @@ class ExecutionReport:
             subarrays_used=self.subarrays_used,
             searches=self.searches * n_queries,
             search_cycles=self.search_cycles,
+            rows_written=self.rows_written,
             queries=self.queries * n_queries,
             spec=self.spec,
         )
@@ -224,6 +229,7 @@ def _combined_fields(reports: Sequence[ExecutionReport], combiner: str) -> dict:
         subarrays_used=sum(r.subarrays_used for r in reports),
         searches=sum(r.searches for r in reports),
         search_cycles=max(r.search_cycles for r in reports),
+        rows_written=sum(r.rows_written for r in reports),
         spec=_common_spec(reports, combiner),
     )
 

@@ -65,6 +65,27 @@ class SubarrayState:
         self.writes += 1
         return r
 
+    def invalidate(self, row_offset: int = 0, row_count: int = 1) -> int:
+        """Tombstone a row window: clear its valid bits and cell contents.
+
+        A tombstoned row behaves exactly like a never-written one — the
+        latch path reads it as the metric's no-match value and the
+        accumulate path skips it.  Returns how many previously-valid rows
+        the window held.  Raises when the window falls outside the
+        physical geometry.
+        """
+        if row_offset < 0 or row_offset + row_count > self.rows:
+            raise ValueError(
+                f"invalidate of {row_count} rows at offset {row_offset} "
+                f"exceeds {self.rows}-row subarray"
+            )
+        window = slice(row_offset, row_offset + row_count)
+        cleared = int(self._valid[window].sum())
+        self._valid[window] = False
+        self._data[window] = 0.0
+        self.writes += 1
+        return cleared
+
     @property
     def valid_rows(self) -> int:
         """Number of rows holding written patterns."""

@@ -157,3 +157,160 @@ class TestMachineConsistency:
             for _ in range(8):
                 m.alloc_subarray(arr)
             assert m.standby_duty() == expected_duty
+
+
+class TestMutationInvariants:
+    """Invariants of the mutable-store layer (live insert/delete/update
+    with tombstones, compaction and growth)."""
+
+    FEATURES = 8
+
+    @staticmethod
+    def _spec(banks=None):
+        """Analog cells so dot scores are true dot products (see
+        test_mutation_differential)."""
+        from dataclasses import replace
+
+        spec = paper_spec(rows=8, cols=8, cam_type="acam")
+        return spec if banks is None else replace(spec, banks=banks)
+
+    def _kernel(self, stored, k=2, spec=None, **kw):
+        return C4CAMCompiler(spec or self._spec()).compile(
+            self._model(stored, k),
+            [placeholder((1, self.FEATURES))],
+            **kw,
+        )
+
+    def _model(self, stored, k):
+        import repro.frontend.torch_api as torch
+
+        class DotSimilarity(torch.Module):
+            def __init__(self):
+                self.weight = torch.tensor(
+                    np.asarray(stored, dtype=np.float32)
+                )
+
+            def forward(self, input):
+                others = self.weight.transpose(-2, -1)
+                matmul = torch.matmul(input, others)
+                return torch.ops.aten.topk(matmul, k, largest=True)
+
+        return DotSimilarity()
+
+    def _machine_valid_rows(self, session):
+        machine = session.machine
+        return sum(
+            machine.subarray(sub).valid_rows
+            for sub in machine._subarrays
+        )
+
+    def test_valid_rows_conserved_across_compaction(self, rng):
+        """Compaction moves rows, it never creates or destroys them:
+        the machine-wide valid-bit count equals the live pattern count
+        before and after (one column tile here, so 1 valid row ≡ 1
+        pattern)."""
+        stored = rng.standard_normal((12, self.FEATURES)).astype(np.float32)
+        kernel = self._kernel(stored)
+        session = kernel.session()
+        assert self._machine_valid_rows(session) == 12
+        kernel.delete([1, 4, 9])
+        assert self._machine_valid_rows(session) == kernel.pattern_count == 9
+        kernel.insert(
+            rng.standard_normal((2, self.FEATURES)).astype(np.float32)
+        )
+        assert self._machine_valid_rows(session) == kernel.pattern_count == 11
+        moved = kernel.compact()
+        assert moved > 0
+        assert self._machine_valid_rows(session) == kernel.pattern_count == 11
+        assert kernel.compact() == 0, "second compaction must be a no-op"
+        assert self._machine_valid_rows(session) == 11
+
+    def test_no_bank_overlap_after_repack(self, rng):
+        """After a growth-triggered defragmenting re-placement, placed
+        tenants occupy disjoint bank ranges on every machine."""
+        from repro.runtime.cluster import Cluster
+
+        spec = self._spec(banks=4)
+        stored = [
+            rng.standard_normal((n, self.FEATURES)).astype(np.float32)
+            for n in (10, 8, 8)
+        ]
+        cluster = Cluster(spec, max_machines=4)
+        try:
+            for i, data in enumerate(stored):
+                cluster.admit(
+                    self._kernel(data, spec=spec), tenant_id=f"t{i}"
+                )
+            defrags = cluster.defrag_count
+            for _ in range(200):
+                cluster.insert(
+                    rng.standard_normal(self.FEATURES).astype(np.float32),
+                    tenant="t0",
+                )
+                if cluster.defrag_count > defrags:
+                    break
+            assert cluster.defrag_count > defrags
+            by_machine = {}
+            for tenant in cluster._tenants.values():
+                if tenant.kind != "placed":
+                    continue
+                rec = tenant.lanes[0]
+                by_machine.setdefault(rec.machine_index, []).append(
+                    (rec.bank_offset, rec.bank_offset + rec.banks)
+                )
+            assert by_machine, "no placed tenants after re-pack"
+            for machine_index, ranges in by_machine.items():
+                ranges.sort()
+                for (_, end), (start, _) in zip(ranges, ranges[1:]):
+                    assert end <= start, (
+                        f"bank overlap on machine {machine_index}: {ranges}"
+                    )
+        finally:
+            cluster.shutdown()
+
+    def test_tombstoned_rows_never_in_topk(self, rng):
+        """A deleted row must vanish from results even when it would
+        dominate the ranking: its match-line score may still exist
+        physically, but the valid mask keeps it out of every top-k."""
+        stored = rng.standard_normal((8, self.FEATURES)).astype(np.float32)
+        kernel = self._kernel(stored, k=2)
+        query = rng.standard_normal((1, self.FEATURES)).astype(np.float32)
+        # A dominating pattern: its dot product beats every other row.
+        dominator = (100.0 * query[0]).astype(np.float32)
+        [gid] = kernel.insert(dominator)
+        values, indices = kernel.run_batch(query)
+        top_value = float(values[0, 0])
+        assert int(indices[0, 0]) == kernel.pattern_count - 1
+        kernel.delete([gid])
+        values, indices = kernel.run_batch(query)
+        assert float(values[0, 0]) < top_value, (
+            "tombstoned dominator still surfaces in top-k"
+        )
+        assert np.all(indices < kernel.pattern_count)
+
+    def test_single_row_mutation_cheaper_than_reprogram(self, rng):
+        """Incremental programming: one insert/update/delete charges
+        per-touched-row write energy, strictly less than re-programming
+        the store from scratch."""
+        stored = rng.standard_normal((12, self.FEATURES)).astype(np.float32)
+        kernel = self._kernel(stored)
+        session = kernel.session()
+        full_energy = session.setup_energy_pj
+        full_rows = session.rows_written
+        assert full_rows >= 12
+        for mutate in (
+            lambda: kernel.insert(
+                rng.standard_normal(self.FEATURES).astype(np.float32)
+            ),
+            lambda: kernel.update(
+                0, rng.standard_normal(self.FEATURES).astype(np.float32)
+            ),
+            lambda: kernel.delete([kernel.row_ids()[-1]]),
+        ):
+            energy_before = session.setup_energy_pj
+            rows_before = session.rows_written
+            mutate()
+            delta_energy = session.setup_energy_pj - energy_before
+            delta_rows = session.rows_written - rows_before
+            assert 0 < delta_rows < full_rows
+            assert 0 < delta_energy < full_energy

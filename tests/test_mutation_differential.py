@@ -1,0 +1,454 @@
+"""Randomized mutation-sequence differential testing.
+
+The mutable-store layer promises that a session which has lived through
+an arbitrary interleaving of ``insert`` / ``delete`` / ``update`` /
+``compact`` and queries is *bitwise identical*, on every query, to a
+fresh session rebuilt from the surviving patterns (noise disabled).
+Tombstones, slot reuse, growth banks, shard splits and cluster
+re-placements must all be invisible in the results.
+
+This suite drives randomized mutation schedules against a shadow store
+(a plain dict of id -> row) and checks the promise on every query, for
+all four execution paths:
+
+1. **per-call interpreter** — the rebuilt-survivors kernel with
+   ``cache_session=False`` (fresh machine + full IR walk per query);
+2. **query session** — ``CompiledKernel`` mutations on one live machine;
+3. **sharded session** — mutations across shard machines, including
+   splits when the tail shard overflows a bank-capped spec;
+4. **cluster** — mutations through the multi-tenant control plane,
+   including growth re-placements.
+
+Adversarial schedules ride along: tie-heavy ±1 stores where ranking is
+decided purely by the id-order tie-break, all-tombstone stores (every
+row deleted -> empty results, then refilled), and mutate-during-serve
+schedules where mutations interleave with in-flight micro-batches.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.arch import paper_spec
+from repro.arch.technology import FEFET_45NM
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+from repro.runtime.cluster import Cluster
+from repro.runtime.sharding import ShardedSession, build_shard_set
+
+FEATURES = 8
+BATCH = 3
+
+
+def _spec(banks=None):
+    """An analog-CAM geometry, so dot scores are true dot products
+    (binary TCAM cells would collapse float data to match counts and
+    make every differential assertion vacuous)."""
+    spec = paper_spec(rows=8, cols=8, cam_type="acam")
+    return spec if banks is None else replace(spec, banks=banks)
+
+
+def _dot_model(stored, k):
+    import repro.frontend.torch_api as torch
+
+    class DotSimilarity(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(stored)
+
+        def forward(self, input):
+            others = self.weight.transpose(-2, -1)
+            matmul = torch.matmul(input, others)
+            return torch.ops.aten.topk(matmul, k, largest=True)
+
+    return DotSimilarity()
+
+
+def _compile(stored, k, spec, **kw):
+    stored = np.asarray(stored, dtype=np.float32)
+    return C4CAMCompiler(spec).compile(
+        _dot_model(stored, k), [placeholder((1, FEATURES))], **kw
+    )
+
+
+def _make_sharded(stored, k, spec, num_shards=None):
+    shard_set = build_shard_set(
+        np.asarray(stored, dtype=np.float32), 1, "dot", k, True, spec,
+        num_shards=num_shards,
+    )
+    return ShardedSession(shard_set, spec, FEFET_45NM)
+
+
+def _survivors(live):
+    """The oracle store: surviving rows in ascending-id order."""
+    return np.array([live[g] for g in sorted(live)], dtype=np.float32)
+
+
+def _rows(rng, n, tie_heavy=False):
+    if tie_heavy:
+        return rng.choice([-1.0, 1.0], (n, FEATURES)).astype(np.float32)
+    return rng.standard_normal((n, FEATURES)).astype(np.float32)
+
+
+def _queries(rng, tie_heavy=False):
+    return _rows(rng, BATCH, tie_heavy)
+
+
+def _mutate_randomly(rng, store, live, n_ops, k, check, tie_heavy=False,
+                     max_live=20):
+    """Drive ``n_ops`` random mutations against ``store`` and the shadow
+    ``live`` dict, calling ``check()`` on every query op and once at the
+    end.  Deletes never drop the store below ``k`` rows (the oracle
+    kernel needs k <= patterns); the all-tombstone schedule exercises
+    that separately."""
+    ops = ["insert", "delete", "update", "compact", "query"]
+    weights = [0.3, 0.2, 0.15, 0.1, 0.25]
+    for _ in range(n_ops):
+        op = rng.choice(ops, p=weights)
+        if op == "insert":
+            if len(live) >= max_live:
+                continue
+            rows = _rows(rng, int(rng.integers(1, 3)), tie_heavy)
+            ids = store.insert(rows)
+            assert len(set(ids)) == len(rows)
+            assert not set(ids) & set(live), "ids must never be reused"
+            for gid, row in zip(ids, rows):
+                live[gid] = row
+        elif op == "delete":
+            deletable = len(live) - k
+            if deletable <= 0:
+                continue
+            count = int(rng.integers(1, deletable + 1))
+            victims = list(
+                rng.choice(sorted(live), size=count, replace=False)
+            )
+            store.delete(victims)
+            for gid in victims:
+                del live[int(gid)]
+        elif op == "update":
+            gid = int(rng.choice(sorted(live)))
+            row = _rows(rng, 1, tie_heavy)[0]
+            store.update(gid, row)
+            live[gid] = row
+        elif op == "compact":
+            store.compact()
+        else:
+            check()
+        assert store.pattern_count == len(live)
+        assert store.row_ids() == sorted(live)
+    check()
+
+
+# --------------------------------------------------------------------------
+# Path 2: query session (via the kernel mutation API)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(80))
+def test_query_session_matches_rebuilt(seed):
+    """Mutated single-machine session == fresh session over survivors."""
+    rng = np.random.default_rng(10_000 + seed)
+    spec = _spec()
+    n0 = int(rng.integers(6, 14))
+    k = int(rng.integers(1, 4))
+    stored = _rows(rng, n0)
+    kernel = _compile(stored, k, spec)
+    live = {i: stored[i] for i in range(n0)}
+
+    def check():
+        queries = _queries(rng)
+        got = kernel.run_batch(queries)
+        want = _compile(_survivors(live), k, spec).run_batch(queries)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+    _mutate_randomly(rng, kernel, live, n_ops=8, k=k, check=check)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_query_session_matches_interpreter(seed):
+    """Path 1 x path 2: the mutated session must equal the per-call
+    interpreter walk over the surviving patterns."""
+    rng = np.random.default_rng(20_000 + seed)
+    spec = _spec()
+    n0 = int(rng.integers(6, 12))
+    k = int(rng.integers(1, 4))
+    stored = _rows(rng, n0)
+    kernel = _compile(stored, k, spec)
+    live = {i: stored[i] for i in range(n0)}
+
+    def check():
+        queries = _queries(rng)
+        got = kernel.run_batch(queries)
+        percall = _compile(_survivors(live), k, spec, cache_session=False)
+        values, indices = zip(*(percall(q[None, :]) for q in queries))
+        assert np.array_equal(got[0], np.vstack(values))
+        assert np.array_equal(got[1], np.vstack(indices))
+
+    _mutate_randomly(rng, kernel, live, n_ops=6, k=k, check=check)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_tie_heavy_schedules(seed):
+    """±1 stores: nearly every score ties, so any slot-order leak in the
+    mutation layer breaks the lowest-id tie-break instantly."""
+    rng = np.random.default_rng(30_000 + seed)
+    spec = _spec()
+    n0 = int(rng.integers(6, 14))
+    k = int(rng.integers(1, 4))
+    uniques = _rows(rng, 3, tie_heavy=True)
+    stored = uniques[rng.integers(0, 3, n0)]
+    kernel = _compile(stored, k, spec)
+    live = {i: stored[i] for i in range(n0)}
+
+    def check():
+        queries = uniques[rng.integers(0, 3, BATCH)]
+        got = kernel.run_batch(queries)
+        want = _compile(_survivors(live), k, spec).run_batch(queries)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+    _mutate_randomly(rng, kernel, live, n_ops=8, k=k, check=check,
+                     tie_heavy=True)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_all_tombstone_then_refill(seed):
+    """Deleting every pattern yields (B, 0) results on both the plain
+    and the sharded path; refilling restores full identity."""
+    rng = np.random.default_rng(40_000 + seed)
+    spec = _spec()
+    n0 = int(rng.integers(4, 8))
+    k = 2
+    stored = _rows(rng, n0)
+    kernel = _compile(stored, k, spec)
+    sharded = _make_sharded(stored, k, spec, num_shards=2)
+    queries = _queries(rng)
+
+    for store in (kernel, sharded):
+        store.delete(list(range(n0)))
+        assert store.pattern_count == 0
+        values, indices = store.run_batch(queries)
+        assert values.shape == (BATCH, 0)
+        assert indices.shape == (BATCH, 0)
+
+    refill = _rows(rng, n0)
+    live = {}
+    ids = kernel.insert(refill)
+    sharded_ids = sharded.insert(refill)
+    assert ids == sharded_ids, "refill ids must match across paths"
+    for gid, row in zip(ids, refill):
+        live[gid] = row
+    want = _compile(_survivors(live), k, spec).run_batch(queries)
+    for store in (kernel, sharded):
+        got = store.run_batch(queries)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+
+# --------------------------------------------------------------------------
+# Path 3: sharded session (splits included)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_sharded_matches_rebuilt(seed):
+    """Mutated shard group == freshly sharded survivors.  The spec caps
+    banks, so insert-heavy schedules overflow the tail shard and split
+    — the rebuilt oracle auto-shards, proving results are independent of
+    the shard layout the mutations happened to produce."""
+    rng = np.random.default_rng(50_000 + seed)
+    spec = _spec(banks=2)
+    n0 = int(rng.integers(6, 10))
+    k = int(rng.integers(1, 4))
+    stored = _rows(rng, n0)
+    session = _make_sharded(stored, k, spec, num_shards=2)
+    live = {i: stored[i] for i in range(n0)}
+
+    def check():
+        queries = _queries(rng)
+        got = session.run_batch(queries)
+        want = _make_sharded(_survivors(live), k, spec).run_batch(queries)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+    _mutate_randomly(rng, session, live, n_ops=8, k=k, check=check,
+                     max_live=28)
+
+
+def test_sharded_split_preserves_identity():
+    """Deterministic split coverage: insert until the shard count grows,
+    then compare against the auto-sharded rebuild."""
+    rng = np.random.default_rng(99)
+    spec = _spec(banks=2)
+    stored = _rows(rng, 8)
+    session = _make_sharded(stored, 3, spec, num_shards=2)
+    live = {i: stored[i] for i in range(8)}
+    before = session.num_shards
+    for _ in range(300):
+        row = _rows(rng, 1)[0]
+        live[session.insert(row)[0]] = row
+        if session.num_shards > before:
+            break
+    assert session.num_shards > before, "insert flood never split a shard"
+    queries = _queries(rng)
+    got = session.run_batch(queries)
+    want = _make_sharded(_survivors(live), 3, spec).run_batch(queries)
+    assert np.array_equal(got[0], want[0])
+    assert np.array_equal(got[1], want[1])
+
+
+# --------------------------------------------------------------------------
+# Path 4: cluster (growth re-placement included)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_cluster_matches_rebuilt(seed):
+    """Mutations through the cluster control plane: per-tenant identity
+    against solo rebuilds, and the untouched tenant never drifts."""
+    rng = np.random.default_rng(60_000 + seed)
+    spec = _spec(banks=4)
+    k = int(rng.integers(1, 4))
+    stored_a = _rows(rng, int(rng.integers(6, 12)))
+    stored_b = _rows(rng, int(rng.integers(6, 12)))
+    compiler = C4CAMCompiler(spec)
+    kernel_a = _compile(stored_a, k, spec)
+    kernel_b = _compile(stored_b, k, spec)
+    cluster = Cluster(spec, max_machines=4)
+    try:
+        cluster.admit(kernel_a, tenant_id="a")
+        cluster.admit(kernel_b, tenant_id="b")
+        live = {i: stored_a[i] for i in range(stored_a.shape[0])}
+        queries = _queries(rng)
+        want_b = _compile(stored_b, k, spec).run_batch(queries)
+
+        class _TenantStore:
+            """Adapts the tenant-addressed cluster API to the generic
+            mutation driver."""
+
+            def insert(self, rows):
+                return cluster.insert(rows, tenant="a")
+
+            def delete(self, ids):
+                cluster.delete(ids, tenant="a")
+
+            def update(self, gid, row):
+                cluster.update(gid, row, tenant="a")
+
+            def compact(self):
+                return cluster.compact(tenant="a")
+
+            @property
+            def pattern_count(self):
+                return cluster.pattern_count(tenant="a")
+
+            def row_ids(self):
+                return cluster.row_ids(tenant="a")
+
+        def check():
+            batch = _queries(rng)
+            got = cluster.run_batch(batch, tenant="a")
+            want = _compile(_survivors(live), k, spec).run_batch(batch)
+            assert np.array_equal(got[0], want[0])
+            assert np.array_equal(got[1], want[1])
+            got_b = cluster.run_batch(queries, tenant="b")
+            assert np.array_equal(got_b[0], want_b[0])
+            assert np.array_equal(got_b[1], want_b[1])
+
+        _mutate_randomly(rng, _TenantStore(), live, n_ops=6, k=k,
+                         check=check)
+    finally:
+        cluster.shutdown()
+
+
+def test_cluster_growth_replaces_not_evicts():
+    """Deterministic growth coverage: flood one tenant with inserts
+    until its banks overflow — the cluster must re-place (defragment),
+    keep both tenants admitted, and stay bitwise identical."""
+    rng = np.random.default_rng(7)
+    spec = _spec(banks=4)
+    k = 3
+    stored_a = _rows(rng, 10)
+    stored_b = _rows(rng, 8)
+    cluster = Cluster(spec, max_machines=4)
+    try:
+        cluster.admit(_compile(stored_a, k, spec), tenant_id="a")
+        cluster.admit(_compile(stored_b, k, spec), tenant_id="b")
+        live = {i: stored_a[i] for i in range(10)}
+        defrags = cluster.defrag_count
+        for _ in range(200):
+            row = _rows(rng, 1)[0]
+            live[cluster.insert(row, tenant="a")[0]] = row
+            if cluster.defrag_count > defrags:
+                break
+        assert cluster.defrag_count > defrags, \
+            "insert flood never triggered a growth re-placement"
+        assert set(cluster.tenant_ids) == {"a", "b"}
+        queries = _queries(rng)
+        got = cluster.run_batch(queries, tenant="a")
+        want = _compile(_survivors(live), k, spec).run_batch(queries)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+        got_b = cluster.run_batch(queries, tenant="b")
+        want_b = _compile(stored_b, k, spec).run_batch(queries)
+        assert np.array_equal(got_b[0], want_b[0])
+        assert np.array_equal(got_b[1], want_b[1])
+    finally:
+        cluster.shutdown()
+
+
+# --------------------------------------------------------------------------
+# Mutate-during-serve schedules
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_mutate_during_serve(seed):
+    """Mutations interleaved with in-flight micro-batches: a request
+    submitted before the mutation barrier sees the old or the new store
+    (never a torn mix); every request after the barrier sees exactly
+    the new store."""
+    rng = np.random.default_rng(70_000 + seed)
+    spec = _spec()
+    k = 2
+    n0 = 8
+    stored = _rows(rng, n0)
+    kernel = _compile(stored, k, spec, num_replicas=2)
+    live = {i: stored[i] for i in range(n0)}
+    queries = _queries(rng)
+    want_old = _compile(_survivors(live), k, spec).run_batch(queries)
+
+    with kernel.serve(max_batch=2, max_wait=0.0) as engine:
+        in_flight = [engine.submit(queries) for _ in range(4)]
+        new_rows = _rows(rng, 2)
+
+        def mutate(backend):
+            ids = backend.insert(new_rows)
+            backend.delete([0])
+            return ids
+
+        results = engine.mutate(mutate)
+        # Deterministic id assignment keeps every replica's id space
+        # identical — the barrier returns one id list per backend.
+        assert all(r == results[0] for r in results)
+        for gid, row in zip(results[0], new_rows):
+            live[gid] = row
+        del live[0]
+        want_new = _compile(_survivors(live), k, spec).run_batch(queries)
+
+        # Post-barrier requests see exactly the mutated store.
+        after = engine.submit(queries).result(timeout=30)
+        assert np.array_equal(after[0], want_new[0])
+        assert np.array_equal(after[1], want_new[1])
+
+        # Pre-barrier requests were served whole, before or after.
+        for future in in_flight:
+            values, indices = future.result(timeout=30)
+            old = np.array_equal(values, want_old[0]) and np.array_equal(
+                indices, want_old[1]
+            )
+            new = np.array_equal(values, want_new[0]) and np.array_equal(
+                indices, want_new[1]
+            )
+            assert old or new, "in-flight request saw a torn store"

@@ -424,6 +424,148 @@ class TestConcurrencySoak:
 
 
 # --------------------------------------------------------------------------
+# Mutations interleaved with live serving
+# --------------------------------------------------------------------------
+class TestMutateDuringServe:
+    """``ServingEngine.mutate`` against concurrent producers: mutations
+    apply under the per-lane serve locks, so every request sees a whole
+    store (old or new, never torn), and the barrier (the call
+    returning) guarantees later requests see the mutated store."""
+
+    N_PRODUCERS = 4
+    PER_PRODUCER = 15
+    PROTECTED = 24  # rows the mutator never deletes
+
+    def _engine(self, dot_kernel, bipolar_store):
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16), num_replicas=2)
+        return kernel.serve(max_batch=4, max_wait=0.0005)
+
+    def test_producers_race_mutator_without_cross_wiring(
+        self, dot_kernel, bipolar_store, rng
+    ):
+        """Producers query rows the mutator never touches while it
+        churns inserts/deletes.  A self-query of a ±1 row scores the
+        unique best value 0.0 (zero mismatching cells) regardless of
+        what else is in the store — any torn write, cross-wired future,
+        or half-applied replica shows up as a different top value."""
+        engine = self._engine(dot_kernel, bipolar_store)
+        errors = []
+        start = threading.Barrier(self.N_PRODUCERS + 1)
+        stop = threading.Event()
+
+        def producer(worker: int) -> None:
+            prng = np.random.default_rng(500 + worker)
+            start.wait()
+            try:
+                for _ in range(self.PER_PRODUCER):
+                    row = int(prng.integers(0, self.PROTECTED))
+                    values, _indices = engine.submit(
+                        bipolar_store[row]
+                    ).result(timeout=60)
+                    assert values.shape == (1, 1)
+                    assert values[0, 0] == 0.0, (
+                        f"self-query of row {row} lost its best score"
+                    )
+            except Exception as exc:  # surface in the main thread
+                errors.append(exc)
+
+        def mutator() -> None:
+            mrng = np.random.default_rng(77)
+            start.wait()
+            try:
+                doomed = list(range(self.PROTECTED, 32))
+                for _ in range(10):
+                    results = engine.mutate(
+                        lambda b, ids=tuple(doomed): b.delete(list(ids))
+                    )
+                    rows = mrng.choice([-1.0, 1.0], (2, 64)).astype(
+                        np.float32
+                    )
+                    results = engine.mutate(
+                        lambda b, r=rows: b.insert(r)
+                    )
+                    # Replica id spaces must stay identical.
+                    assert all(r == results[0] for r in results)
+                    doomed = results[0]
+            except Exception as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [
+            threading.Thread(target=producer, args=(i,))
+            for i in range(self.N_PRODUCERS)
+        ] + [threading.Thread(target=mutator)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "serve/mutate deadlocked"
+        assert not errors, errors
+        engine.shutdown()
+
+    def test_no_stale_reads_after_mutation_barrier(
+        self, dot_kernel, bipolar_store, rng
+    ):
+        """Once ``mutate`` returns, every subsequent request must see
+        the new store — a probe pattern inserted through the barrier is
+        immediately its own best match on whichever replica serves."""
+        engine = self._engine(dot_kernel, bipolar_store)
+        probe = rng.choice([-1.0, 1.0], 64).astype(np.float32)
+        values, _ = engine.submit(probe).result(timeout=60)
+        assert values[0, 0] > 0.0, "probe accidentally equals a stored row"
+        engine.mutate(lambda backend: backend.insert(probe))
+        # Hit every replica: each request must see the inserted probe.
+        for _ in range(8):
+            values, _ = engine.submit(probe).result(timeout=60)
+            assert values[0, 0] == 0.0, "stale read after mutation barrier"
+        engine.shutdown()
+
+    def test_shutdown_abort_with_mutations_pending(
+        self, dot_kernel, bipolar_store, rng
+    ):
+        """shutdown(abort=True) while a mutator thread is mid-churn:
+        everything terminates cleanly — pending futures resolve or
+        raise the typed shutdown error, the mutator either completes or
+        gets a clean SessionError, nothing deadlocks."""
+        engine = self._engine(dot_kernel, bipolar_store)
+        futures = [
+            engine.submit(bipolar_store[i % 32]) for i in range(12)
+        ]
+        outcome = []
+
+        def mutator() -> None:
+            mrng = np.random.default_rng(11)
+            try:
+                for _ in range(50):
+                    rows = mrng.choice([-1.0, 1.0], (1, 64)).astype(
+                        np.float32
+                    )
+                    engine.mutate(lambda b, r=rows: b.insert(r))
+                outcome.append("completed")
+            except SessionError:
+                outcome.append("refused")
+
+        thread = threading.Thread(target=mutator)
+        thread.start()
+        time.sleep(0.002)
+        engine.shutdown(abort=True)
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "mutator deadlocked across shutdown"
+        assert outcome in (["completed"], ["refused"])
+        for future in futures:
+            assert future.done()
+            if not future.cancelled():
+                try:
+                    values, _ = future.result(timeout=0)
+                except ClusterShutdown:
+                    continue
+                assert values.shape == (1, 1)
+        engine.shutdown(abort=True)  # idempotent
+
+
+# --------------------------------------------------------------------------
 # Concurrent-report merging
 # --------------------------------------------------------------------------
 class TestMergeConcurrentReports:

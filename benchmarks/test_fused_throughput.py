@@ -1,0 +1,156 @@
+"""Fused batch-kernel throughput (trace once, execute flat).
+
+The unfused :class:`repro.runtime.session.QuerySession` walk dispatches
+every batch through per-tile ``machine.search`` calls, latch-bank
+writes, per-subarray reads and hierarchy merges — Python dispatch and
+copies that dwarf the useful arithmetic once the store spans many
+subarrays.  The traced :class:`repro.runtime.fused.FusedPlan` collapses
+that walk into a flat sequence of preallocated NumPy ops (and, for
+integer-exact metrics such as binary Hamming, into plain BLAS matmuls)
+while charging identical energy/latency and returning bitwise-identical
+results.
+
+Asserted: >= 3x wall-clock over the unfused session path at batch 64 on
+a single machine (the PR's acceptance floor — the exact-Hamming rewrite
+typically lands near 10x), bitwise output equality, and identical
+energy accounting.  The ``test_bench_*`` entries extend the existing
+pytest-benchmark trajectory.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.arch import paper_spec
+from repro.compiler import C4CAMCompiler
+from repro.frontend import placeholder
+
+from harness import print_series
+
+# Wall-clock-sensitive: excluded from the deterministic CI tier
+# (`-m "not benchmark"`); the benchmarks-smoke job runs it with floors.
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
+
+BATCH = 64
+PATTERNS = 256
+DIMS = 256
+
+
+def _dot_model(stored, k=1):
+    import repro.frontend.torch_api as torch
+
+    class DotSimilarity(torch.Module):
+        def __init__(self):
+            self.weight = torch.tensor(stored)
+
+        def forward(self, input):
+            others = self.weight.transpose(-2, -1)
+            matmul = torch.matmul(input, others)
+            return torch.ops.aten.topk(matmul, k, largest=True)
+
+    return DotSimilarity()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(42)
+    stored = rng.choice([-1.0, 1.0], (PATTERNS, DIMS)).astype(np.float32)
+    queries = rng.choice([-1.0, 1.0], (BATCH, DIMS)).astype(np.float32)
+    spec = paper_spec(rows=32, cols=32)
+    fused = C4CAMCompiler(spec).compile(
+        _dot_model(stored), [placeholder((1, DIMS))]
+    )
+    unfused = C4CAMCompiler(spec).compile(
+        _dot_model(stored), [placeholder((1, DIMS))], fused=False
+    )
+    return dict(queries=queries, fused=fused, unfused=unfused)
+
+
+def _time(kernel, queries, reps=5):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        kernel.run_batch(queries)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fused_throughput_3x(workload):
+    """The fused plan beats the unfused session walk >= 3x at batch 64."""
+    fused, unfused = workload["fused"], workload["unfused"]
+    queries = workload["queries"]
+
+    # Warm both paths: session setup walk, plan trace, numpy caches.
+    fv, fi = fused.run_batch(queries)
+    uv, ui = unfused.run_batch(queries)
+    assert fused.session().fused_runs > 0
+    assert unfused.session().fused_runs == 0
+
+    fused_s = _time(fused, queries)
+    unfused_s = _time(unfused, queries)
+
+    speedup = unfused_s / fused_s
+    print_series(
+        f"fused batch kernel (B={BATCH}, {PATTERNS}x{DIMS})",
+        ["wall s", "queries/s"],
+        [
+            ("unfused session walk", [unfused_s, BATCH / unfused_s]),
+            ("fused plan", [fused_s, BATCH / fused_s]),
+            ("speedup", [speedup, speedup]),
+        ],
+    )
+
+    # Functional: bitwise identical to the unfused oracle.
+    np.testing.assert_array_equal(fi, ui)
+    np.testing.assert_array_equal(fv, uv)
+    # Accounting: a fused run charges the identical energy/latency.
+    fr = fused.session().last_report
+    ur = unfused.session().last_report
+    for field in ("search", "read", "merge", "host", "write"):
+        assert getattr(fr.energy, field) == getattr(ur.energy, field)
+    assert fr.query_latency_ns == ur.query_latency_ns
+    assert fr.searches == ur.searches
+    # The acceptance floor.
+    assert speedup >= 3.0, f"only {speedup:.1f}x over the unfused walk"
+
+
+def test_fused_rebuild_cost_amortizes(workload):
+    """One mutation invalidates the plan; the rebuilt plan serves the
+    next batch and the re-trace stays far below a machine re-program."""
+    fused = workload["fused"]
+    queries = workload["queries"]
+    session = fused.session()
+    session.run_batch(queries)
+    runs = session.fused_runs
+    rng = np.random.default_rng(7)
+    ids = session.insert(
+        rng.choice([-1.0, 1.0], (2, DIMS)).astype(np.float32)
+    )
+    assert session._fused_plan is None  # invalidated by the mutation
+    t0 = time.perf_counter()
+    session.run_batch(queries)          # re-trace + fused execute
+    retrace_s = time.perf_counter() - t0
+    assert session.fused_runs == runs + 1
+    session.delete(ids)
+    print(f"mutate->retrace->serve: {retrace_s * 1e3:.2f} ms")
+
+
+def test_bench_fused_batch64(benchmark, workload):
+    """BENCH trajectory: one fused 64-query batch."""
+    fused, queries = workload["fused"], workload["queries"]
+    fused.run_batch(queries)  # session open + plan traced
+    benchmark.pedantic(
+        lambda: fused.run_batch(queries),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+
+
+def test_bench_unfused_batch64(benchmark, workload):
+    """BENCH trajectory: the unfused session-walk baseline."""
+    unfused, queries = workload["unfused"], workload["queries"]
+    unfused.run_batch(queries)
+    benchmark.pedantic(
+        lambda: unfused.run_batch(queries),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )

@@ -224,6 +224,7 @@ class CompiledKernel:
         cache_session: bool = True,
         shard_set: Optional[ShardSet] = None,
         num_replicas: int = 1,
+        fused: bool = True,
     ):
         self.module = module
         self.spec = spec
@@ -237,6 +238,10 @@ class CompiledKernel:
         self.cache_session = cache_session
         self.shard_set = shard_set
         self.num_replicas = num_replicas
+        #: Serve batches through the traced FusedPlan fast path (the
+        #: unfused per-stage walk stays available as the differential
+        #: oracle via ``fused=False``).
+        self.fused = bool(fused)
         self.last_report: Optional[ExecutionReport] = None
         self.last_machine: Optional[CamMachine] = None
         self._session: Optional[QuerySession] = None
@@ -287,6 +292,7 @@ class CompiledKernel:
                 func_name=self.func_name,
                 noise_sigma=self.noise_sigma,
                 noise_seed=self._noise_seq.spawn(1)[0],
+                fused=self.fused,
             )
             return self._replicate(base)
         if not self.uses_machine or len(self.query_programs) != 1:
@@ -310,6 +316,7 @@ class CompiledKernel:
             func_name=self.func_name,
             noise_sigma=self.noise_sigma,
             noise_seed=self._noise_seq.spawn(1)[0],
+            fused=self.fused,
         )
         return self._replicate(base)
 
@@ -518,6 +525,7 @@ class MultiTenantKernel:
         noise_seed: int = 0,
         max_machines: Optional[int] = None,
         num_replicas: int = 1,
+        fused: bool = True,
     ):
         self.tenants = list(tenants)
         self.spec = spec
@@ -527,6 +535,7 @@ class MultiTenantKernel:
         self.noise_seed = noise_seed
         self.max_machines = max_machines
         self.num_replicas = num_replicas
+        self.fused = bool(fused)
         self.last_report: Optional[ExecutionReport] = None
         self._session = None
         self._noise_seq = np.random.SeedSequence(noise_seed)
@@ -556,6 +565,7 @@ class MultiTenantKernel:
                 placement=self.placement,
                 noise_sigma=self.noise_sigma,
                 noise_seed=self._noise_seq.spawn(1)[0],
+                fused=self.fused,
             )
             if self.num_replicas > 1:
                 base = ReplicatedSession(base, self.num_replicas)
@@ -646,6 +656,7 @@ class C4CAMCompiler:
         cache_session: bool = True,
         num_shards: Optional[int] = None,
         num_replicas: int = 1,
+        fused: bool = True,
     ) -> CompiledKernel:
         """Full pipeline: trace → torch IR → cim → cam.
 
@@ -673,6 +684,11 @@ class C4CAMCompiler:
         :meth:`CompiledKernel.serve` for the async micro-batching front
         door.  Replication compiles *once*: replicas clone the session's
         artifacts and only re-program their own machines.
+
+        ``fused`` (default on) serves batches through the traced
+        :class:`~repro.runtime.fused.FusedPlan` — bitwise identical to
+        the per-stage session walk, which ``fused=False`` retains as
+        the differential oracle.
         """
         if num_shards is not None and num_shards < 1:
             raise ValueError("num_shards must be >= 1 (or None for auto)")
@@ -758,6 +774,7 @@ class C4CAMCompiler:
             cache_session=cache_session,
             shard_set=shard_set,
             num_replicas=num_replicas,
+            fused=fused,
         )
         if num_replicas > 1 and not kernel._sessionable:
             raise SessionError(
@@ -776,6 +793,7 @@ class C4CAMCompiler:
         noise_seed: int = 0,
         max_machines: Optional[int] = None,
         num_replicas: int = 1,
+        fused: bool = True,
     ) -> MultiTenantKernel:
         """Compile several kernels for co-residency on one machine fleet.
 
@@ -866,6 +884,7 @@ class C4CAMCompiler:
             noise_seed=noise_seed,
             max_machines=max_machines,
             num_replicas=num_replicas,
+            fused=fused,
         )
 
     def compile_cluster(

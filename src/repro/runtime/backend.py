@@ -31,6 +31,17 @@ and evicted by the :class:`~repro.runtime.cluster.Cluster` control
 plane — the per-request path choice mirroring hybrid data-plane designs
 ("A Tale of Two Paths") where the system picks a path per request, not
 per deployment.
+
+The protocol's load-bearing contract is **bitwise identity**: with
+noise disabled, ``run_batch`` must return the same bits for the same
+queries no matter which backend serves them — batched vs. sequential,
+sharded vs. one oversized machine, replicated vs. direct, colocated
+vs. private, before vs. after a cluster re-placement, and (since PR 9)
+fused vs. the per-stage session walk.  Every backend serves through a
+traced :class:`~repro.runtime.fused.FusedPlan` by default
+(``fused=True``), and the identity extends to accounting: a fused
+batch charges the identical energy/latency the unfused walk would.
+The differential suites under ``tests/`` assert all of it.
 """
 
 from __future__ import annotations

@@ -43,6 +43,16 @@ re-charging their programming cost, and :meth:`Cluster.report` sums the
 epochs (:func:`~repro.simulator.metrics.combine_epoch_reports`) — so
 writes are charged exactly once per actual programming pass, and a
 tenant admitted then evicted still shows up in the lifetime energy.
+
+Tenant sessions are **fused** by default (``fused=True`` on the
+cluster, threaded into every placed, sharded and autoscaled lane):
+each tenant's batches replay its traced
+:class:`~repro.runtime.fused.FusedPlan` instead of the per-stage
+session walk.  The bitwise-identity guarantee is unchanged — results
+*and* energy/latency accounting match the unfused oracle exactly, and
+per-tenant mutations invalidate only that tenant's plan — so every
+control-plane invariant above (isolation, re-placement identity,
+epoch accounting) holds identically with fusion on or off.
 """
 
 from __future__ import annotations
@@ -192,6 +202,7 @@ class Cluster(ExecutionBackend, MachineGroupView):
         autoscale_backlog_rows: Optional[int] = None,
         noise_sigma: float = 0.0,
         noise_seed=0,
+        fused: bool = True,
     ):
         if max_machines is not None and max_machines < 1:
             raise ValueError("max_machines must be >= 1 (or None for auto)")
@@ -209,6 +220,7 @@ class Cluster(ExecutionBackend, MachineGroupView):
             else autoscale_backlog_rows
         )
         self.noise_sigma = float(noise_sigma)
+        self.fused = bool(fused)
         self._noise_seq = (
             noise_seed
             if isinstance(noise_seed, np.random.SeedSequence)
@@ -486,6 +498,7 @@ class Cluster(ExecutionBackend, MachineGroupView):
             func_name=tenant.func_name,
             noise_sigma=self.noise_sigma,
             noise_seed=self._noise_seq.spawn(1)[0],
+            fused=self.fused,
         )
         record = _LaneRecord(
             backend, threading.Lock(), LaneStats(backend),
@@ -594,6 +607,7 @@ class Cluster(ExecutionBackend, MachineGroupView):
             noise_sigma=self.noise_sigma,
             noise_seed=self._noise_seq.spawn(1)[0],
             machine=machine,
+            fused=self.fused,
         )
         # Pre-grow to the recorded growth footprint (deterministic bank
         # usage, matching the inflated placement demand), then replay

@@ -364,9 +364,11 @@ class MultiTenantSession(ExecutionBackend, MachineGroupView):
         placement: Optional[PlacementPlan] = None,
         noise_sigma: float = 0.0,
         noise_seed=0,
+        fused: bool = True,
     ):
         if not tenants:
             raise SessionError("a multi-tenant session needs >= 1 tenant")
+        self.fused = bool(fused)
         self.tenants: Dict[str, TenantProgram] = {}
         for tenant in tenants:
             if tenant.tenant_id in self.tenants:
@@ -440,6 +442,7 @@ class MultiTenantSession(ExecutionBackend, MachineGroupView):
                 noise_sigma=self.noise_sigma,
                 noise_seed=self._noise_seq.spawn(1)[0],
                 machine=machine,
+                fused=self.fused,
             )
             if session.banks_used != assignment.banks:
                 raise SessionError(
@@ -492,6 +495,7 @@ class MultiTenantSession(ExecutionBackend, MachineGroupView):
                 self._noise_seq.spawn(1)[0] if noise_seed is None
                 else noise_seed
             ),
+            fused=self.fused,
         )
 
     # ------------------------------------------------------------ topology

@@ -34,6 +34,15 @@ crosses :attr:`~QuerySession.compact_threshold`.  Surviving rows always
 rank in insertion (id) order, which keeps every mutated session
 bitwise identical to a session rebuilt from scratch over the surviving
 patterns.
+
+Batches are served **fused** by default (``fused=True``): the fixed
+post-programming pipeline is traced once into a
+:class:`~repro.runtime.fused.FusedPlan` (built lazily at the first
+:meth:`~QuerySession.run_batch`, invalidated by every mutation and
+``grow``) and replayed as one flat NumPy kernel — bitwise identical to
+the per-stage walk in results and in energy/latency accounting.
+``fused=False`` retains the unfused walk as the differential oracle,
+and ``noise_sigma > 0`` bypasses the plan automatically.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ from repro.transforms.partitioning import PartitionPlan
 
 from .backend import ExecutionBackend, SessionError
 from .executor import Interpreter
+from .fused import build_fused_plan
 
 __all__ = [
     "QueryProgram",
@@ -171,6 +181,7 @@ class QuerySession(ExecutionBackend):
         noise_seed: int = 0,
         machine: Optional[CamMachine] = None,
         compact_threshold: float = 0.5,
+        fused: bool = True,
     ):
         self.module = module
         self.spec = spec
@@ -209,6 +220,14 @@ class QuerySession(ExecutionBackend):
         # on the machine trace (coarse within-batch structure: searches,
         # then reads/merges, then the top-k).
         self._time = 0.0
+        #: Serve batches through the fused plan when possible (see
+        #: :mod:`repro.runtime.fused`); toggle off for the unfused
+        #: oracle walk.  Results are bitwise identical either way.
+        self.fused = bool(fused)
+        #: Batches answered by the fused plan (vs. the unfused walk).
+        self.fused_runs = 0
+        # None = rebuild on next batch; False = this store cannot fuse.
+        self._fused_plan = None
         self._program_machine()
         self._init_mutable_store(compact_threshold)
 
@@ -362,6 +381,7 @@ class QuerySession(ExecutionBackend):
                 else noise_seed
             ),
             compact_threshold=self.compact_threshold,
+            fused=self.fused,
         )
         if self.mutations or self.compactions:
             session.restore(self.store_state())
@@ -435,6 +455,9 @@ class QuerySession(ExecutionBackend):
         self.setup_energy_pj += machine.energy.write - snapshot[0]
         self.rows_written += machine.rows_written - snapshot[1]
         self.setup_latency_ns += duration
+        # The mutation changed the live-row set the fused plan traced;
+        # drop it and rebuild lazily on the next batch.
+        self._fused_plan = None
 
     def _slot_group(self, slot: int) -> _RowGroup:
         for group in self._row_groups:
@@ -537,6 +560,7 @@ class QuerySession(ExecutionBackend):
         self._slot_ids.extend([-1] * spec.rows)
         self._capacity += spec.rows
         self._growth_groups += 1
+        self._fused_plan = None
 
     def _free_slot(self) -> int:
         if self._next_slot >= self._capacity and self._dead:
@@ -770,6 +794,16 @@ class QuerySession(ExecutionBackend):
                 f"query width {queries.shape[1]} does not match the "
                 f"kernel's feature dimension {plan.features}"
             )
+        if self.fused and self.noise_sigma == 0.0:
+            # Fused fast path: trace once, execute flat.  Noise keeps
+            # the unfused walk (draws are per-machine-call); a store the
+            # tracer cannot validate falls back permanently (False).
+            fused_plan = self._fused_plan
+            if fused_plan is None:
+                fused_plan = build_fused_plan(self)
+                self._fused_plan = fused_plan if fused_plan else False
+            if fused_plan:
+                return self._run_batch_fused(fused_plan, queries)
         n_queries = queries.shape[0]
         if self.noise_sigma > 0.0:
             machine.reseed_noise(self._noise_seq.spawn(1)[0])
@@ -877,6 +911,25 @@ class QuerySession(ExecutionBackend):
         self.last_indices = indices
         self.last_report = self._report(before, n_queries)
         self.batches_run += 1
+        return [values.astype(np.float32), indices.astype(np.int64)]
+
+    def _run_batch_fused(self, fused_plan, queries) -> List[np.ndarray]:
+        """Answer one batch through the traced :class:`FusedPlan`.
+
+        Bitwise identical to the unfused walk in results, ``last_*``
+        state and the batch report — the plan replays the walk's exact
+        float accumulation order and charge schedule.
+        """
+        n_queries = queries.shape[0]
+        before = self._counters()
+        k = self.program.k if self.serve_k is None else self.serve_k
+        values, indices, scores = fused_plan.execute(queries, k)
+        self._time += n_queries * self.per_query_latency_ns
+        self.last_values = np.take_along_axis(scores, indices, axis=1)
+        self.last_indices = indices
+        self.last_report = self._report(before, n_queries)
+        self.batches_run += 1
+        self.fused_runs += 1
         return [values.astype(np.float32), indices.astype(np.int64)]
 
     # -------------------------------------------------------------- report

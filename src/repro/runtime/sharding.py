@@ -310,6 +310,7 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
         func_name: str = "forward",
         noise_sigma: float = 0.0,
         noise_seed=0,
+        fused: bool = True,
     ):
         if not shard_set.shards:
             raise SessionError("a sharded session needs at least one shard")
@@ -317,6 +318,7 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
         self.spec = spec
         self.tech = tech
         self.func_name = func_name
+        self.fused = bool(fused)
         self.noise_sigma = float(noise_sigma)
         self._noise_seq = (
             noise_seed
@@ -334,6 +336,7 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
                 func_name=func_name,
                 noise_sigma=noise_sigma,
                 noise_seed=child,
+                fused=fused,
             )
             for shard, child in zip(shard_set.shards, children)
         ]
@@ -432,6 +435,7 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
                 self._noise_seq.spawn(1)[0] if noise_seed is None
                 else noise_seed
             ),
+            fused=self.fused,
         )
         if self.mutations or self.compactions:
             session._seed_gids(self._initial_gids)
@@ -548,6 +552,7 @@ class ShardedSession(ExecutionBackend, MachineGroupView):
             func_name=self.func_name,
             noise_sigma=self.noise_sigma,
             noise_seed=self._noise_seq.spawn(1)[0],
+            fused=self.fused,
         )
         session.serve_k = self.k
         self.sessions.append(session)

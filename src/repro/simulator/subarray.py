@@ -91,6 +91,17 @@ class SubarrayState:
         """Number of rows holding written patterns."""
         return int(self._valid.sum())
 
+    def valid_mask(self, row_begin: int = 0, row_count: int = -1) -> np.ndarray:
+        """Copy of the valid bits over a row window.
+
+        The ground truth a :class:`~repro.runtime.fused.FusedPlan`
+        validates against before snapshotting stored tiles: a fused
+        kernel may only serve rows the machine itself would search.
+        """
+        if row_count < 0:
+            row_count = self.rows - row_begin
+        return self._valid[row_begin : row_begin + row_count].copy()
+
     def stored(self, row_begin: int = 0, row_count: int = -1) -> np.ndarray:
         """The stored pattern window (valid rows only within the window)."""
         if row_count < 0:

@@ -448,3 +448,123 @@ def test_all_zero_scores_resolve_identically():
     for path in (batched, sharded, served):
         np.testing.assert_array_equal(path[1], interpreter[1])
         np.testing.assert_array_equal(path[0], interpreter[0])
+
+
+# ----------------------------------------------------- fused vs unfused
+def _report_tuple(report):
+    """The accounting surface a fused run must reproduce exactly."""
+    e = report.energy
+    return (
+        report.query_latency_ns, report.setup_latency_ns,
+        report.searches, report.search_cycles, report.rows_written,
+        e.search, e.read, e.merge, e.host, e.write, e.standby,
+    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fused_matches_unfused_oracle_all_paths(seed):
+    """`fused=True` (default) must be bitwise identical to the retained
+    unfused session walk — results AND energy/latency accounting — on
+    every execution backend: plain session, sharded, replicated+served,
+    and the multi-tenant fleet."""
+    rng = np.random.default_rng(321_000 + seed)
+    stored, queries, k, spec, kind = _random_case(rng)
+    features = stored.shape[1]
+    example = [placeholder((1, features))]
+
+    def pair(**kwargs):
+        fused = C4CAMCompiler(spec).compile(
+            _dot_model(stored, k), example, **kwargs
+        )
+        oracle = C4CAMCompiler(spec).compile(
+            _dot_model(stored, k), example, fused=False, **kwargs
+        )
+        return fused, oracle
+
+    # 1. plain session.
+    kf, ko = pair()
+    rf, ro = kf.run_batch(queries), ko.run_batch(queries)
+    sf, so = kf.session(), ko.session()
+    assert sf.fused_runs == 1 and so.fused_runs == 0
+    np.testing.assert_array_equal(rf[0], ro[0])
+    np.testing.assert_array_equal(rf[1], ro[1])
+    np.testing.assert_array_equal(sf.last_values, so.last_values)
+    assert _report_tuple(sf.last_report) == _report_tuple(so.last_report)
+
+    # 2. sharded: per-shard fusion must keep the merged tie-break.
+    num_shards = min(2, stored.shape[0])
+    kf, ko = pair(num_shards=num_shards)
+    rf, ro = kf.run_batch(queries), ko.run_batch(queries)
+    np.testing.assert_array_equal(rf[0], ro[0])
+    np.testing.assert_array_equal(rf[1], ro[1])
+    assert _report_tuple(kf.session().last_report) == _report_tuple(
+        ko.session().last_report
+    )
+    assert all(s.fused_runs == 1 for s in kf.session().sessions)
+
+    # 3. replicated + async serving lanes run the fused kernels.
+    kf, ko = pair(num_replicas=2)
+    with kf.serve(max_batch=4) as engine:
+        got_f = engine.submit(queries).result(timeout=30)
+    with ko.serve(max_batch=4) as engine:
+        got_o = engine.submit(queries).result(timeout=30)
+    np.testing.assert_array_equal(got_f[0], got_o[0])
+    np.testing.assert_array_equal(got_f[1], got_o[1])
+
+    # 4. multi-tenant fleet: fused per tenant over shared machines.
+    mf = C4CAMCompiler(spec).compile_many(
+        [_dot_model(stored, k)], [example], tenant_ids=["t0"]
+    )
+    mo = C4CAMCompiler(spec).compile_many(
+        [_dot_model(stored, k)], [example], tenant_ids=["t0"],
+        fused=False,
+    )
+    rf = mf.run_batch("t0", queries)
+    ro = mo.run_batch("t0", queries)
+    np.testing.assert_array_equal(rf[0], ro[0])
+    np.testing.assert_array_equal(rf[1], ro[1])
+    assert mf.session().sessions[0].fused_runs == 1
+
+
+def test_fused_cluster_matches_unfused_oracle():
+    """A cluster admitted with fused=False is the oracle for the default
+    fused control plane, across placed and sharded tenants."""
+    rng = np.random.default_rng(77)
+    stored = rng.choice([-1.0, 1.0], (24, 64)).astype(np.float32)
+    queries = rng.choice([-1.0, 1.0], (6, 64)).astype(np.float32)
+    spec = paper_spec(rows=16, cols=32)
+    example = [placeholder((1, 64))]
+
+    results = {}
+    for fused in (True, False):
+        compiler = C4CAMCompiler(spec)
+        cluster = compiler.compile_cluster(
+            [_dot_model(stored, 3)], [example], tenant_ids=["t0"],
+            fused=fused,
+        )
+        assert cluster.fused is fused
+        results[fused] = cluster.run_batch("t0", queries)
+        cluster.shutdown()
+    np.testing.assert_array_equal(results[True][0], results[False][0])
+    np.testing.assert_array_equal(results[True][1], results[False][1])
+
+
+def test_noise_bypasses_fusion():
+    """Device noise keeps the unfused walk (draws are per-machine-call):
+    a noisy fused-flag session must produce the identical realization."""
+    rng = np.random.default_rng(9)
+    stored = rng.choice([-1.0, 1.0], (12, 64)).astype(np.float32)
+    queries = rng.choice([-1.0, 1.0], (5, 64)).astype(np.float32)
+    spec = paper_spec(rows=16, cols=32)
+    example = [placeholder((1, 64))]
+    kf = C4CAMCompiler(spec).compile(
+        _dot_model(stored, 2), example, noise_sigma=0.3, noise_seed=11
+    )
+    ko = C4CAMCompiler(spec).compile(
+        _dot_model(stored, 2), example, noise_sigma=0.3, noise_seed=11,
+        fused=False,
+    )
+    rf, ro = kf.run_batch(queries), ko.run_batch(queries)
+    assert kf.session().fused_runs == 0
+    np.testing.assert_array_equal(rf[0], ro[0])
+    np.testing.assert_array_equal(rf[1], ro[1])

@@ -39,8 +39,28 @@ def _blocks():
 def test_docs_exist():
     """The documented entry points of this repo must be present."""
     for name in ("README.md", "docs/architecture.md",
-                 "docs/execution-model.md"):
+                 "docs/execution-model.md", "docs/performance.md"):
         assert (REPO_ROOT / name).exists(), f"missing {name}"
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_docs_links_resolve():
+    """Relative links in README.md and docs/*.md must point at files
+    that exist (external URLs, anchors and GitHub-web-relative paths
+    like the CI badge are skipped)."""
+    broken = []
+    for path in DOC_FILES:
+        for target in _LINK.findall(path.read_text()):
+            if "://" in target or target.startswith(("#", "mailto:")):
+                continue
+            resolved = (path.parent / target.split("#")[0]).resolve()
+            if not resolved.is_relative_to(REPO_ROOT):
+                continue  # GitHub-web-relative (e.g. the badge link)
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)} -> {target}")
+    assert not broken, "dead links:\n" + "\n".join(broken)
 
 
 def test_docs_have_executable_examples():

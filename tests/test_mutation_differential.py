@@ -452,3 +452,100 @@ def test_mutate_during_serve(seed):
                 indices, want_new[1]
             )
             assert old or new, "in-flight request saw a torn store"
+
+
+# --------------------------------------------------------------------------
+# FusedPlan invalidation: mutations interleaved with fused batches
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fused_invalidation_matches_unfused_oracle(seed):
+    """Random mutation schedules interleaved with fused ``run_batch``:
+    every mutation must drop the cached :class:`FusedPlan`, and every
+    rebuilt plan must stay bitwise identical — results, candidate
+    values and the full energy/latency accounting — to the retained
+    unfused session walk driven through the same schedule."""
+    rng = np.random.default_rng(654_000 + seed)
+    k = int(rng.integers(1, 4))
+    stored = _rows(rng, int(rng.integers(k + 2, 10)))
+    fused_kernel = _compile(stored, k, _spec())
+    oracle_kernel = _compile(stored, k, _spec(), fused=False)
+    fused, oracle = fused_kernel.session(), oracle_kernel.session()
+    live = {gid: row for gid, row in zip(fused.row_ids(), stored)}
+    mutations = 0
+
+    def check():
+        queries = _queries(rng)
+        rf = fused.run_batch(queries)
+        ro = oracle.run_batch(queries)
+        np.testing.assert_array_equal(rf[0], ro[0])
+        np.testing.assert_array_equal(rf[1], ro[1])
+        np.testing.assert_array_equal(fused.last_values, oracle.last_values)
+        ef, eo = fused.last_report.energy, oracle.last_report.energy
+        for field in ("search", "read", "merge", "host", "write"):
+            assert getattr(ef, field) == getattr(eo, field), field
+        assert (
+            fused.last_report.query_latency_ns
+            == oracle.last_report.query_latency_ns
+        )
+        assert fused.last_report.searches == oracle.last_report.searches
+
+    class _Tandem:
+        """Apply every mutation to both sessions, keeping them in step."""
+
+        def insert(self, rows):
+            ids = fused.insert(rows)
+            assert oracle.insert(rows) == ids
+            # Any mutation must invalidate the cached plan.
+            assert fused._fused_plan is None
+            return ids
+
+        def delete(self, ids):
+            fused.delete(ids)
+            oracle.delete(ids)
+            assert fused._fused_plan is None
+
+        def update(self, gid, row):
+            fused.update(gid, row)
+            oracle.update(gid, row)
+            assert fused._fused_plan is None
+
+        def compact(self):
+            fused.compact()
+            oracle.compact()
+            assert fused._fused_plan is None
+
+        @property
+        def pattern_count(self):
+            assert fused.pattern_count == oracle.pattern_count
+            return fused.pattern_count
+
+        def row_ids(self):
+            assert fused.row_ids() == oracle.row_ids()
+            return fused.row_ids()
+
+    _mutate_randomly(rng, _Tandem(), live, 30, k, check)
+    assert fused.fused_runs == fused.batches_run > 0
+    assert oracle.fused_runs == 0
+
+
+def test_store_state_snapshots_survive_fusion():
+    """``store_state()`` of a fused session restores onto a fresh
+    session (fused or not) with bitwise-identical serving."""
+    rng = np.random.default_rng(13)
+    stored = _rows(rng, 8)
+    kernel = _compile(stored, 2, _spec())
+    session = kernel.session()
+    queries = _queries(rng)
+    session.run_batch(queries)          # build + use the plan
+    session.insert(_rows(rng, 2))
+    session.delete([0, 3])
+    expected = session.run_batch(queries)
+    state = session.store_state()
+    for fused in (True, False):
+        fresh = _compile(stored, 2, _spec(), fused=fused).session()
+        fresh.restore(state)
+        got = fresh.run_batch(queries)
+        np.testing.assert_array_equal(got[0], expected[0])
+        np.testing.assert_array_equal(got[1], expected[1])

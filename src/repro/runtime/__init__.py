@@ -3,8 +3,16 @@ multi-machine sessions, the replicated async serving layer, multi-tenant
 bank placement and host reference semantics."""
 
 from . import values
+from .autotune import AutotuneResult, Candidate, TrafficTrace, autotune
 from .backend import ClusterShutdown, ExecutionBackend, LaneStats
 from .cluster import Cluster
+from .costmodel import (
+    CostBreakdown,
+    PlacementCost,
+    TenantProfile,
+    TrafficHint,
+    profiles_from_reports,
+)
 from .executor import ExecutionError, Interpreter
 from .placement import (
     MultiTenantSession,
@@ -29,13 +37,17 @@ from .sharding import (
 )
 
 __all__ = [
+    "AutotuneResult",
+    "Candidate",
     "Cluster",
     "ClusterShutdown",
+    "CostBreakdown",
     "ExecutionBackend",
     "ExecutionError",
     "Interpreter",
     "LaneStats",
     "MultiTenantSession",
+    "PlacementCost",
     "PlacementError",
     "PlacementPlan",
     "QueryProgram",
@@ -48,11 +60,16 @@ __all__ = [
     "ShardSet",
     "TenantAssignment",
     "TenantDemand",
+    "TenantProfile",
     "TenantProgram",
+    "TrafficHint",
+    "TrafficTrace",
     "aggregate_reports",
+    "autotune",
     "build_shard_set",
     "plan_shard_count",
     "plan_placement",
+    "profiles_from_reports",
     "shard_sizes",
     "tenant_demand",
     "values",

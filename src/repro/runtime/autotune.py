@@ -1,0 +1,481 @@
+"""Traffic-driven design-space autotuner: pick the machine for the load.
+
+The Fig. 8 design-space exploration (``benchmarks/test_fig8_dse.py``)
+sweeps arch configurations for one *static* kernel.  A serving fleet
+needs the same sweep against its *traffic*: the best subarray geometry,
+shard count, lane count and placement policy depend on who is hot, how
+big their batches are and what deadlines they carry.  This module runs
+that search:
+
+1. describe the offered load as a :class:`TrafficTrace` (one
+   :class:`~repro.runtime.costmodel.TrafficHint` per tenant — arrival
+   rate, batch rows, priority, deadline; :meth:`TrafficTrace.zipf`
+   builds the classic heavy-tailed multi-tenant mix);
+2. :func:`autotune` compiles every tenant for each candidate arch
+   preset, **probes** one measured batch per tenant to calibrate a
+   :class:`~repro.runtime.costmodel.PlacementCost` (predictions are
+   anchored to simulator numbers, not guesses), then scores every
+   ``preset x shards x lanes x policy`` combination on predicted
+   SLO-weighted response;
+3. the winner is emitted as a reproducible, JSON-able cluster plan —
+   :meth:`~repro.runtime.cluster.Cluster.plan` format — that
+   :meth:`~repro.runtime.cluster.Cluster.from_plan` rebuilds bitwise
+   identically.
+
+Candidates that violate a deadline SLO rank strictly below feasible
+ones; among feasible candidates the lowest predicted cost wins, with
+fleet size as the tiebreak (never pay silicon for nothing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.arch.technology import FEFET_45NM, TechnologyModel
+from repro.transforms.partitioning import CapacityError
+
+from .cluster import Cluster
+from .costmodel import (
+    CostBreakdown,
+    PlacementCost,
+    TenantProfile,
+    TrafficHint,
+)
+from .placement import plan_placement, tenant_demand
+
+__all__ = [
+    "TrafficTrace",
+    "Candidate",
+    "AutotuneResult",
+    "autotune",
+]
+
+
+# ------------------------------------------------------------------ traffic
+@dataclass(frozen=True)
+class TrafficTrace:
+    """The offered load: one traffic hint per tenant.
+
+    A trace is the autotuner's input contract and the soak benchmark's
+    arrival generator.  :meth:`zipf` builds the canonical skewed mix —
+    a few hot tenants, a long cold tail — and :meth:`arrivals` unrolls
+    the trace into a deterministic request timeline (evenly spaced
+    per-tenant streams, phase-shifted so tenants interleave instead of
+    stampeding), so replays are reproducible without an RNG.
+    """
+
+    hints: Tuple[TrafficHint, ...]
+
+    def __post_init__(self):
+        if not self.hints:
+            raise ValueError("a TrafficTrace needs at least one hint")
+        seen = set()
+        for hint in self.hints:
+            if hint.tenant_id in seen:
+                raise ValueError(
+                    f"duplicate tenant {hint.tenant_id!r} in trace"
+                )
+            seen.add(hint.tenant_id)
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        return [hint.tenant_id for hint in self.hints]
+
+    @property
+    def total_qps(self) -> float:
+        return sum(hint.rate_qps for hint in self.hints)
+
+    def hint(self, tenant_id: str) -> TrafficHint:
+        for hint in self.hints:
+            if hint.tenant_id == tenant_id:
+                return hint
+        raise KeyError(f"no tenant {tenant_id!r} in this trace")
+
+    def as_dict(self) -> Dict[str, TrafficHint]:
+        return {hint.tenant_id: hint for hint in self.hints}
+
+    @classmethod
+    def zipf(
+        cls,
+        tenant_ids: Sequence[str],
+        total_qps: float = 1000.0,
+        skew: float = 1.1,
+        batch_rows: int = 1,
+        priorities: Optional[Mapping[str, int]] = None,
+        deadlines_s: Optional[Mapping[str, float]] = None,
+    ) -> "TrafficTrace":
+        """A Zipf(``skew``)-distributed rate mix over ``tenant_ids``
+        (listed hottest first) summing to ``total_qps``."""
+        if not tenant_ids:
+            raise ValueError("zipf needs at least one tenant id")
+        if total_qps <= 0:
+            raise ValueError("total_qps must be positive")
+        weights = [
+            1.0 / float(rank + 1) ** skew
+            for rank in range(len(tenant_ids))
+        ]
+        scale = total_qps / sum(weights)
+        priorities = priorities or {}
+        deadlines_s = deadlines_s or {}
+        return cls(hints=tuple(
+            TrafficHint(
+                tenant_id=tid,
+                rate_qps=weight * scale,
+                batch_rows=batch_rows,
+                priority=priorities.get(tid, 0),
+                deadline_s=deadlines_s.get(tid),
+            )
+            for tid, weight in zip(tenant_ids, weights)
+        ))
+
+    def arrivals(self, horizon_s: float) -> List[Tuple[float, str]]:
+        """The trace unrolled to ``(time_s, tenant_id)`` request
+        arrivals over ``[0, horizon_s)``.
+
+        Each tenant issues requests of ``batch_rows`` rows at a uniform
+        period (``batch_rows / rate_qps``), phase-offset by its trace
+        position — deterministic, so two replays see byte-identical
+        timelines.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        out: List[Tuple[float, str]] = []
+        count = len(self.hints)
+        for index, hint in enumerate(self.hints):
+            if hint.rate_qps <= 0:
+                continue
+            period = hint.batch_rows / hint.rate_qps
+            phase = period * (index + 1) / (count + 1)
+            t = phase
+            while t < horizon_s:
+                out.append((t, hint.tenant_id))
+                t += period
+        out.sort(key=lambda item: (item[0], item[1]))
+        return out
+
+
+# --------------------------------------------------------------- candidates
+@dataclass(frozen=True)
+class Candidate:
+    """One scored point of the serving design space."""
+
+    preset: str
+    spec: ArchSpec
+    policy: str
+    lanes: int
+    shards: int
+    machines: int
+    predicted: CostBreakdown
+    slo_violations: Tuple[str, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """No tenant's predicted response misses its deadline."""
+        return not self.slo_violations
+
+    @property
+    def sort_key(self) -> tuple:
+        """Feasible first, then predicted cost, then fleet size."""
+        return (
+            len(self.slo_violations),
+            self.predicted.total,
+            self.machines,
+            self.lanes,
+            self.shards,
+            self.preset,
+            self.policy,
+        )
+
+    def describe(self) -> str:
+        status = "ok" if self.feasible else (
+            f"SLO-miss:{','.join(self.slo_violations)}"
+        )
+        return (
+            f"{self.preset} x{self.shards} shard(s) x{self.lanes} "
+            f"lane(s) [{self.policy}] -> cost {self.predicted.total:.4g} "
+            f"on {self.machines} machine(s) ({status})"
+        )
+
+
+@dataclass
+class AutotuneResult:
+    """The search outcome: the winner, its plan, and the full ranking.
+
+    ``plan`` is :meth:`Cluster.plan`-shaped (JSON-able); ``kernels``
+    are the winner's compiled artifacts keyed by tenant, ready to hand
+    to :meth:`Cluster.from_plan` together with ``plan``.
+    """
+
+    winner: Candidate
+    plan: Optional[dict]
+    candidates: List[Candidate]
+    kernels: Dict[str, object]
+    profiles: Dict[str, TenantProfile]
+    skipped: List[Tuple[str, str]]
+
+    def describe(self) -> str:
+        lines = [f"winner: {self.winner.describe()}"]
+        for candidate in self.candidates[1:]:
+            lines.append(f"  then: {candidate.describe()}")
+        for name, why in self.skipped:
+            lines.append(f"  skipped {name}: {why}")
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- search
+def _probe_kernel(kernel, tenant_id: str, hint: TrafficHint,
+                  features: int) -> TenantProfile:
+    """Calibrate one tenant on one candidate arch: a single measured
+    batch at the hinted batch size anchors the profile to simulator
+    numbers (latency in the sim is data-independent, so a deterministic
+    probe pattern is as good as live queries)."""
+    rows = max(1, hint.batch_rows)
+    probe = np.linspace(
+        -1.0, 1.0, num=rows * features, dtype=np.float64
+    ).reshape(rows, features)
+    kernel.run_batch(probe)
+    return TenantProfile.from_report(tenant_id, kernel.last_report)
+
+
+def _kernel_features(kernel, example_inputs) -> int:
+    width = getattr(kernel, "query_width", None)
+    if callable(width):
+        value = width()
+        if value:
+            return int(value)
+    shape = getattr(example_inputs[0], "shape", None)
+    if shape and len(shape) >= 2:
+        return int(shape[-1])
+    raise ValueError("cannot infer the query width for the probe batch")
+
+
+def autotune(
+    models: Mapping[str, Callable],
+    example_inputs: Mapping[str, Sequence],
+    trace: TrafficTrace,
+    presets: Mapping[str, ArchSpec],
+    policies: Sequence[str] = ("ffd", "cost"),
+    lane_options: Sequence[int] = (1,),
+    shard_options: Sequence[int] = (1,),
+    max_machines: Optional[int] = None,
+    tech: TechnologyModel = FEFET_45NM,
+    energy_weight: float = 0.0,
+    emit_plan: bool = True,
+    cluster_kwargs: Optional[dict] = None,
+) -> AutotuneResult:
+    """Search ``preset x shards x lanes x policy`` for ``trace``.
+
+    ``models`` maps each trace tenant to its traceable model and
+    ``example_inputs`` to that model's compile-time example inputs;
+    ``presets`` names the candidate :class:`ArchSpec`\\ s.  Presets a
+    tenant cannot compile for (capacity overflow) are skipped and
+    reported in :attr:`AutotuneResult.skipped`.  With ``emit_plan``
+    (default) the winner is realized as a live
+    :class:`~repro.runtime.cluster.Cluster` whose :meth:`plan` dict —
+    placement pinned to the cost-informed layout — rides back in the
+    result next to the winner's compiled kernels.
+    """
+    order = trace.tenant_ids
+    missing = [tid for tid in order if tid not in models]
+    if missing:
+        raise ValueError(f"no model supplied for tenant(s) {missing}")
+    if not presets:
+        raise ValueError("autotune needs at least one arch preset")
+    for policy in policies:
+        if policy not in ("ffd", "cost"):
+            raise ValueError(f"unknown placement policy {policy!r}")
+
+    from repro.compiler import C4CAMCompiler
+
+    hints = trace.as_dict()
+    candidates: List[Candidate] = []
+    skipped: List[Tuple[str, str]] = []
+    compiled: Dict[Tuple[str, int], dict] = {}
+
+    for preset_name, spec in presets.items():
+        for shards in shard_options:
+            label = (
+                preset_name if shards == 1
+                else f"{preset_name} x{shards} shards"
+            )
+            compiler = C4CAMCompiler(spec, tech)
+            kernels: Dict[str, object] = {}
+            profiles: Dict[str, TenantProfile] = {}
+            try:
+                for tid in order:
+                    kernel = compiler.compile(
+                        models[tid],
+                        example_inputs[tid],
+                        num_shards=None if shards == 1 else shards,
+                    )
+                    features = _kernel_features(
+                        kernel, example_inputs[tid]
+                    )
+                    profiles[tid] = _probe_kernel(
+                        kernel, tid, hints[tid], features
+                    )
+                    kernels[tid] = kernel
+            except CapacityError as exc:
+                skipped.append((label, str(exc).splitlines()[0]))
+                continue
+            compiled[(preset_name, shards)] = {
+                "kernels": kernels, "profiles": profiles,
+            }
+            cost_model = PlacementCost(
+                profiles, hints=hints, tech=tech,
+                energy_weight=energy_weight,
+            )
+            placed = sorted(
+                tid for tid in order
+                if getattr(kernels[tid], "shard_set", None) is None
+            )
+            sharded = [tid for tid in order if tid not in placed]
+            groups: List[List[str]] = []
+            for policy in policies:
+                shared_machines = 0
+                if placed:
+                    demands = [
+                        tenant_demand(
+                            tid, kernels[tid].query_programs[0].plan, spec
+                        )
+                        for tid in placed
+                    ]
+                    try:
+                        pplan = plan_placement(
+                            demands, spec, max_machines,
+                            policy=policy, cost_model=cost_model,
+                        )
+                    except CapacityError as exc:
+                        skipped.append(
+                            (f"{label} [{policy}]",
+                             str(exc).splitlines()[0])
+                        )
+                        continue
+                    groups = [
+                        [a.tenant_id for a in pplan.machine_tenants(m)]
+                        for m in range(pplan.num_machines)
+                    ]
+                    shared_machines = pplan.num_machines
+                else:
+                    groups = []
+                groups = groups + [[tid] for tid in sharded]
+                private = sum(
+                    kernels[tid].num_shards for tid in sharded
+                )
+                for lanes in lane_options:
+                    if lanes < 1:
+                        raise ValueError("lane counts must be >= 1")
+                    if lanes == 1:
+                        scored = cost_model
+                    else:
+                        # R lanes split a tenant's stream evenly; each
+                        # lane is a private clone, so the extra silicon
+                        # shows up in the machine count below.
+                        scored = cost_model.with_hints({
+                            tid: dataclasses.replace(
+                                hint, rate_qps=hint.rate_qps / lanes
+                            )
+                            for tid, hint in hints.items()
+                        })
+                    breakdown = scored.score_groups(groups)
+                    machines = (
+                        shared_machines + private
+                        + (lanes - 1) * len(order)
+                    )
+                    candidates.append(Candidate(
+                        preset=preset_name,
+                        spec=spec,
+                        policy=policy,
+                        lanes=lanes,
+                        shards=shards,
+                        machines=machines,
+                        predicted=breakdown,
+                        slo_violations=breakdown.slo_violations,
+                    ))
+
+    if not candidates:
+        raise ValueError(
+            "no feasible autotune candidate; skipped: "
+            + "; ".join(f"{name} ({why})" for name, why in skipped)
+        )
+    candidates.sort(key=lambda c: c.sort_key)
+    winner = candidates[0]
+    bundle = compiled[(winner.preset, winner.shards)]
+
+    plan_dict = None
+    if emit_plan:
+        plan_dict = _realize_plan(
+            winner, bundle, trace, max_machines, tech,
+            cluster_kwargs or {},
+        )
+    return AutotuneResult(
+        winner=winner,
+        plan=plan_dict,
+        candidates=candidates,
+        kernels=dict(bundle["kernels"]),
+        profiles=dict(bundle["profiles"]),
+        skipped=skipped,
+    )
+
+
+def _realize_plan(
+    winner: Candidate,
+    bundle: dict,
+    trace: TrafficTrace,
+    max_machines: Optional[int],
+    tech: TechnologyModel,
+    cluster_kwargs: dict,
+) -> dict:
+    """Build the winner as a live cluster, pin the cost-informed
+    placement, and capture the reproducible plan dict."""
+    kernels = bundle["kernels"]
+    cost_model = PlacementCost(
+        bundle["profiles"], hints=trace.as_dict(), tech=tech,
+    )
+    kwargs = dict(cluster_kwargs)
+    kwargs.setdefault("max_machines", max_machines)
+    kwargs.setdefault("autoscale_max_lanes", max(1, winner.lanes))
+    cluster = Cluster(
+        winner.spec,
+        tech=tech,
+        placement_policy=winner.policy,
+        traffic_hints=trace.as_dict(),
+        **kwargs,
+    )
+    try:
+        for tid in trace.tenant_ids:
+            cluster.admit(
+                kernels[tid], tenant_id=tid, lanes=winner.lanes
+            )
+        placed = sorted(
+            tid for tid in trace.tenant_ids
+            if getattr(kernels[tid], "shard_set", None) is None
+        )
+        if placed:
+            demands = [
+                tenant_demand(
+                    tid, kernels[tid].query_programs[0].plan, winner.spec
+                )
+                for tid in placed
+            ]
+            pplan = plan_placement(
+                demands, winner.spec, max_machines,
+                policy=winner.policy, cost_model=cost_model,
+            )
+            cluster.apply_placement([
+                {
+                    "tenant_id": a.tenant_id,
+                    "machine_index": a.machine_index,
+                    "bank_offset": a.bank_offset,
+                    "banks": a.banks,
+                }
+                for a in pplan.assignments
+            ])
+        return cluster.plan()
+    finally:
+        cluster.shutdown()

@@ -74,10 +74,14 @@ from repro.simulator.metrics import (
 )
 
 from .backend import ClusterShutdown, ExecutionBackend, LaneStats, SessionError
+from .costmodel import PlacementCost, TenantProfile, TrafficHint
 from .machineview import MachineGroupView
 from .placement import (
     PlacementError,
+    PlacementPlan,
+    TenantAssignment,
     TenantProgram,
+    _cost_model_usable,
     plan_placement,
     tenant_demand,
 )
@@ -86,6 +90,28 @@ from .session import QuerySession, StoreOverflow
 from .sharding import ShardedSession, ShardSet
 
 __all__ = ["Cluster", "ClusterShutdown"]
+
+
+def _normalize_hints(hints) -> Dict[str, "TrafficHint"]:
+    """Traffic hints as a tenant-keyed dict, from a dict or iterable."""
+    if hints is None:
+        return {}
+    if isinstance(hints, dict):
+        out = dict(hints)
+    else:
+        out = {hint.tenant_id: hint for hint in hints}
+    for tid, hint in out.items():
+        if not isinstance(hint, TrafficHint):
+            raise TypeError(
+                f"traffic hint for {tid!r} is a "
+                f"{type(hint).__name__}, not a TrafficHint"
+            )
+        if hint.tenant_id != tid:
+            raise ValueError(
+                f"traffic hint keyed {tid!r} names tenant "
+                f"{hint.tenant_id!r}"
+            )
+    return out
 
 
 class _LaneRecord:
@@ -203,11 +229,18 @@ class Cluster(ExecutionBackend, MachineGroupView):
         noise_sigma: float = 0.0,
         noise_seed=0,
         fused: bool = True,
+        placement_policy: str = "ffd",
+        traffic_hints=None,
     ):
         if max_machines is not None and max_machines < 1:
             raise ValueError("max_machines must be >= 1 (or None for auto)")
         if autoscale_max_lanes < 1:
             raise ValueError("autoscale_max_lanes must be >= 1")
+        if placement_policy not in ("ffd", "cost"):
+            raise ValueError(
+                f"unknown placement policy {placement_policy!r} "
+                "(one of 'ffd', 'cost')"
+            )
         self.spec = spec
         self.tech = tech
         self.max_machines = max_machines
@@ -221,6 +254,10 @@ class Cluster(ExecutionBackend, MachineGroupView):
         )
         self.noise_sigma = float(noise_sigma)
         self.fused = bool(fused)
+        self.placement_policy = placement_policy
+        self._traffic_hints: Dict[str, TrafficHint] = (
+            _normalize_hints(traffic_hints)
+        )
         self._noise_seq = (
             noise_seed
             if isinstance(noise_seed, np.random.SeedSequence)
@@ -531,6 +568,65 @@ class Cluster(ExecutionBackend, MachineGroupView):
             demands.append(self._tenant_demand(extra))
         return demands
 
+    # -------------------------------------------------- cost-model plumbing
+    def set_traffic_hints(self, hints) -> None:
+        """Install per-tenant :class:`~repro.runtime.costmodel.TrafficHint`
+        traffic expectations (a dict keyed by tenant id, or an iterable).
+        They steer the ``placement_policy="cost"`` packer and the
+        cost-burdened autoscaler; tenants without a hint fall back to
+        their observed query counts as a rate proxy."""
+        with self._admit_lock:
+            self._traffic_hints = _normalize_hints(hints)
+
+    def traffic_cost_model(self) -> Optional[PlacementCost]:
+        """The fleet's live :class:`PlacementCost`: per-tenant profiles
+        calibrated from measured lifetime reports (tenants that have
+        not served yet get a neutral zero-latency profile), traffic
+        hints from :meth:`set_traffic_hints` — observed query counts
+        stand in as relative rates for unhinted tenants.  ``None``
+        before any tenant is admitted."""
+        with self._admit_lock:
+            profiles: Dict[str, TenantProfile] = {}
+            hints: Dict[str, TrafficHint] = {}
+            for tid in self._admit_order:
+                tenant = self._tenants[tid]
+                report = self.tenant_report(tid)
+                banks = None
+                if tenant.kind == "placed" and tenant.lanes:
+                    banks = max(1, tenant.lanes[0].banks)
+                if report.queries > 0:
+                    profiles[tid] = TenantProfile.from_report(
+                        tid, report, banks=banks
+                    )
+                else:
+                    profiles[tid] = TenantProfile(
+                        tenant_id=tid,
+                        per_query_latency_ns=0.0,
+                        banks=banks if banks is not None else 1,
+                    )
+                hint = self._traffic_hints.get(tid)
+                if hint is not None:
+                    hints[tid] = hint
+                elif report.queries > 0:
+                    hints[tid] = TrafficHint(
+                        tenant_id=tid, rate_qps=float(report.queries)
+                    )
+            if not profiles:
+                return None
+            return PlacementCost(profiles, hints=hints, tech=self.tech)
+
+    def _plan_shared(self, demands):
+        """Plan the shared fleet under the cluster's placement policy
+        (the cost policy degrades to FFD until traffic exists)."""
+        cost_model = (
+            self.traffic_cost_model()
+            if self.placement_policy == "cost" else None
+        )
+        return plan_placement(
+            demands, self.spec, self._shared_budget(),
+            policy=self.placement_policy, cost_model=cost_model,
+        )
+
     def _admit_placed(self, tenant: _Tenant) -> None:
         demand = tenant_demand(tenant.tenant_id, tenant.program.plan,
                                self.spec)
@@ -544,6 +640,21 @@ class Cluster(ExecutionBackend, MachineGroupView):
                 self.spec,
                 tenant_id=tenant.tenant_id,
             )
+        # Cost policy with a live traffic signal: admission re-packs the
+        # fleet around the newcomer instead of first-fitting it into
+        # whatever fragment is free — a hot newcomer must not land next
+        # to another hot tenant just because the banks happened to fit.
+        if self.placement_policy == "cost" and self._shared_machines:
+            model = self._admission_model(tenant)
+            demands = self._live_demands(extra=tenant)
+            if _cost_model_usable(model, demands):
+                plan = plan_placement(
+                    demands, self.spec, self._shared_budget(),
+                    policy="cost", cost_model=model,
+                )
+                self._defragment(reason="admit", plan=plan,
+                                 newcomer=tenant)
+                return
         index = self._first_fit(demand.banks)
         if index is None and self._may_open_shared():
             self._shared_machines.append(self._fresh_machine())
@@ -557,11 +668,23 @@ class Cluster(ExecutionBackend, MachineGroupView):
         # First fit failed on the fragmented fleet: a re-pack including
         # the newcomer may still hold everyone (raises PlacementError —
         # with the full per-tenant breakdown — when it cannot).
-        plan = plan_placement(
-            self._live_demands(extra=tenant), self.spec,
-            self._shared_budget(),
-        )
+        plan = self._plan_shared(self._live_demands(extra=tenant))
         self._defragment(reason="admit", plan=plan, newcomer=tenant)
+
+    def _admission_model(self, newcomer: _Tenant) -> Optional[PlacementCost]:
+        """The live cost model extended with the (not yet admitted)
+        newcomer: a neutral profile plus its traffic hint, if any."""
+        model = self.traffic_cost_model()
+        profiles = dict(model.profiles) if model is not None else {}
+        hints = dict(model.hints) if model is not None else {}
+        tid = newcomer.tenant_id
+        profiles.setdefault(
+            tid, TenantProfile(tenant_id=tid, per_query_latency_ns=0.0)
+        )
+        hint = self._traffic_hints.get(tid)
+        if hint is not None:
+            hints[tid] = hint
+        return PlacementCost(profiles, hints=hints, tech=self.tech)
 
     def _fresh_machine(self) -> CamMachine:
         return CamMachine(
@@ -649,10 +772,7 @@ class Cluster(ExecutionBackend, MachineGroupView):
                 for tid in self._admit_order
             )
             if placed or newcomer is not None:
-                plan = plan_placement(
-                    self._live_demands(extra=newcomer), self.spec,
-                    self._shared_budget(),
-                )
+                plan = self._plan_shared(self._live_demands(extra=newcomer))
         locks = list(self._shared_locks)
         for lock in locks:
             lock.acquire()
@@ -1029,27 +1149,72 @@ class Cluster(ExecutionBackend, MachineGroupView):
         return 0 if engine is None else engine.pending_rows(tenant)
 
     # ---------------------------------------------------------- autoscaler
+    def _scale_eligible(self, tenant_id: str, engine) -> bool:
+        """Queue-depth eligibility: backlog beyond the per-lane
+        threshold, headroom under ``autoscale_max_lanes``, not already
+        scaling.  Caller holds the admit lock."""
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None or tenant.scaling:
+            return False
+        if len(tenant.lanes) >= self.autoscale_max_lanes:
+            return False
+        backlog = engine.pending_rows(tenant_id)
+        return backlog > self.autoscale_backlog_rows * len(tenant.lanes)
+
+    def _scale_target(self, tenant_id: str, engine) -> Optional[tuple]:
+        """Which tenant the next scaled lane should go to, or None.
+
+        The FFD policy scales the submitting tenant when its own queue
+        is deep.  The cost policy scales the *most cost-burdened*
+        eligible tenant — backlog rows weighted by the tenant's
+        calibrated per-query latency — so a short queue of heavy
+        batches outranks a long queue of cheap ones.  Caller holds the
+        admit lock.
+        """
+        if self.placement_policy != "cost":
+            if self._scale_eligible(tenant_id, engine):
+                return (tenant_id, "queue-depth")
+            return None
+        candidates = [
+            tid for tid in self._admit_order
+            if self._scale_eligible(tid, engine)
+        ]
+        if not candidates:
+            return None
+        model = self.traffic_cost_model()
+        if model is None:
+            return (tenant_id, "queue-depth") \
+                if tenant_id in candidates else (candidates[0], "queue-depth")
+
+        def burden(tid):
+            latency = (
+                model.predict_query_latency_ns(tid)
+                if tid in model.profiles else 0.0
+            )
+            return engine.pending_rows(tid) * latency
+
+        ranked = sorted(candidates, key=lambda tid: (-burden(tid), tid))
+        return (ranked[0], "cost-burden")
+
     def _maybe_scale_up(self, tenant_id: str) -> None:
         with self._admit_lock:
-            tenant = self._tenants.get(tenant_id)
             engine = self._engine
-            if tenant is None or engine is None or tenant.scaling:
+            if engine is None:
                 return
-            if len(tenant.lanes) >= self.autoscale_max_lanes:
+            target = self._scale_target(tenant_id, engine)
+            if target is None:
                 return
-            backlog = engine.pending_rows(tenant_id)
-            if backlog <= self.autoscale_backlog_rows * len(tenant.lanes):
-                return
-            tenant.scaling = True
+            target_id, reason = target
+            self._tenants[target_id].scaling = True
         worker = threading.Thread(
-            target=self._scale_up, args=(tenant_id,), daemon=True,
-            name=f"cluster-scale-{tenant_id}",
+            target=self._scale_up, args=(target_id, reason), daemon=True,
+            name=f"cluster-scale-{target_id}",
         )
         worker.start()
 
-    def _scale_up(self, tenant_id: str) -> None:
+    def _scale_up(self, tenant_id: str, reason: str = "queue-depth") -> None:
         try:
-            self._add_scaled_lane(tenant_id, reason="queue-depth")
+            self._add_scaled_lane(tenant_id, reason=reason)
         finally:
             with self._admit_lock:
                 tenant = self._tenants.get(tenant_id)
@@ -1119,6 +1284,174 @@ class Cluster(ExecutionBackend, MachineGroupView):
                 })
                 break
 
+    # ------------------------------------------------------- plan round-trip
+    def plan(self) -> dict:
+        """The cluster's reproducible configuration as a JSON-able dict.
+
+        Captures the arch spec, the cluster knobs, the tenant set (in
+        admission order, with lane counts), the live shared-fleet bank
+        layout (in programming order) and the traffic hints —
+        everything :meth:`from_plan` needs to rebuild an identical
+        fleet around the same compiled kernels.
+        """
+        with self._admit_lock:
+            tenants = []
+            for tid in self._admit_order:
+                tenant = self._tenants[tid]
+                tenants.append({
+                    "tenant_id": tid,
+                    "kind": tenant.kind,
+                    "lanes": len(tenant.lanes),
+                    "shards": (
+                        tenant.shard_set.num_shards
+                        if tenant.kind == "sharded" else 0
+                    ),
+                })
+            placed = [
+                (tid, self._tenants[tid].lanes[0])
+                for tid in self._admit_order
+                if self._tenants[tid].kind == "placed"
+                and self._tenants[tid].lanes
+            ]
+            placed.sort(
+                key=lambda item: (item[1].machine_index,
+                                  item[1].bank_offset)
+            )
+            placement = [
+                {
+                    "tenant_id": tid,
+                    "machine_index": record.machine_index,
+                    "bank_offset": record.bank_offset,
+                    "banks": record.banks,
+                }
+                for tid, record in placed
+            ]
+            hints = [
+                dataclasses.asdict(self._traffic_hints[tid])
+                for tid in sorted(self._traffic_hints)
+            ]
+            return {
+                "version": 1,
+                "spec": self.spec.to_dict(),
+                "cluster": {
+                    "max_machines": self.max_machines,
+                    "max_batch": self.max_batch,
+                    "max_wait": self.max_wait,
+                    "time_scale": self.time_scale,
+                    "autoscale_max_lanes": self.autoscale_max_lanes,
+                    "autoscale_backlog_rows": self.autoscale_backlog_rows,
+                    "placement_policy": self.placement_policy,
+                    "fused": self.fused,
+                },
+                "tenants": tenants,
+                "placement": placement,
+                "num_machines": len(self._shared_machines),
+                "traffic_hints": hints,
+            }
+
+    @classmethod
+    def from_plan(cls, plan: dict, kernels, **kwargs) -> "Cluster":
+        """Rebuild a cluster from a :meth:`plan` dict.
+
+        ``kernels`` supplies the compiled artifacts the plan schedules:
+        a dict keyed by tenant id, or a sequence aligned with the
+        plan's tenant order.  Tenants are re-admitted in the recorded
+        admission order (with their lane counts) and the shared fleet
+        is pinned to the recorded bank layout, so ``run_batch`` results
+        are bitwise identical to the cluster the plan was taken from.
+        Keyword arguments override the recorded cluster knobs.
+        """
+        version = plan.get("version")
+        if version != 1:
+            raise ValueError(f"unsupported cluster plan version {version!r}")
+        spec = ArchSpec.from_dict(plan["spec"])
+        entries = list(plan["tenants"])
+        if not isinstance(kernels, dict):
+            kernels = list(kernels)
+            if len(kernels) != len(entries):
+                raise ValueError(
+                    f"the plan schedules {len(entries)} tenant(s) but "
+                    f"{len(kernels)} kernel(s) were supplied"
+                )
+            kernels = {
+                entry["tenant_id"]: kernel
+                for entry, kernel in zip(entries, kernels)
+            }
+        missing = [
+            entry["tenant_id"] for entry in entries
+            if entry["tenant_id"] not in kernels
+        ]
+        if missing:
+            raise ValueError(f"no kernel supplied for tenant(s) {missing}")
+        config = dict(plan.get("cluster", {}))
+        config["traffic_hints"] = [
+            TrafficHint(**hint) for hint in plan.get("traffic_hints", [])
+        ]
+        config.update(kwargs)
+        if "tech" not in config and entries:
+            first = kernels[entries[0]["tenant_id"]]
+            tech = getattr(first, "tech", None)
+            if tech is not None:
+                config["tech"] = tech
+        cluster = cls(spec, **config)
+        for entry in entries:
+            tid = entry["tenant_id"]
+            cluster.admit(
+                kernels[tid], tenant_id=tid,
+                lanes=max(1, int(entry.get("lanes", 1))),
+            )
+        cluster.apply_placement(plan.get("placement", []))
+        return cluster
+
+    def apply_placement(self, placement: Sequence[dict]) -> None:
+        """Pin the shared fleet to a recorded bank layout (a
+        :meth:`plan` ``placement`` list).  A no-op when the live layout
+        already matches; otherwise a defragmenting re-program onto
+        exactly those spans (results stay bitwise identical)."""
+        with self._admit_lock:
+            want = {
+                entry["tenant_id"]: (
+                    entry["machine_index"],
+                    entry["bank_offset"],
+                    entry["banks"],
+                )
+                for entry in placement
+            }
+            live = self.bank_spans()
+            if want == live:
+                return
+            if set(want) != set(live):
+                raise SessionError(
+                    f"placement names tenants {sorted(want)} but the "
+                    f"cluster's placed tenants are {sorted(live)}"
+                )
+            ordered = sorted(
+                placement,
+                key=lambda e: (e["machine_index"], e["bank_offset"]),
+            )
+            pinned = PlacementPlan(
+                assignments=tuple(
+                    TenantAssignment(
+                        entry["tenant_id"], entry["machine_index"],
+                        entry["bank_offset"], entry["banks"],
+                    )
+                    for entry in ordered
+                ),
+                num_machines=1 + max(
+                    entry["machine_index"] for entry in ordered
+                ),
+                banks_per_machine=self.spec.banks,
+            )
+            self._defragment(reason="apply-placement", plan=pinned)
+
+    def trace_summary(self, tenant: Optional[str] = None) -> dict:
+        """Per-phase (queue/coalesce/run/merge) p50/p99 spans of the
+        async serving path — :meth:`ServingEngine.trace_summary`."""
+        engine = self._engine
+        if engine is None:
+            return {"requests": 0, "phases": {}}
+        return engine.trace_summary(tenant)
+
     # -------------------------------------------------------------- report
     def tenant_report(self, tenant_id: str) -> ExecutionReport:
         """One tenant's lifetime accounting: its live lanes (merged
@@ -1187,6 +1520,9 @@ class Cluster(ExecutionBackend, MachineGroupView):
                 autoscale_backlog_rows=self.autoscale_backlog_rows,
                 noise_sigma=self.noise_sigma,
                 noise_seed=seed,
+                fused=self.fused,
+                placement_policy=self.placement_policy,
+                traffic_hints=dict(self._traffic_hints),
             )
             sources = [
                 (tid, self._tenants[tid]) for tid in self._admit_order
@@ -1278,6 +1614,7 @@ class Cluster(ExecutionBackend, MachineGroupView):
                 "defrag_count": self.defrag_count,
                 "autoscale_events": list(self.autoscale_events),
                 "batches_run": self.batches_run,
+                "placement_policy": self.placement_policy,
             })
         return base
 

@@ -216,16 +216,32 @@ def plan_placement(
     demands: Sequence[TenantDemand],
     spec: ArchSpec,
     max_machines: Optional[int] = None,
+    policy: str = "ffd",
+    cost_model=None,
 ) -> PlacementPlan:
     """Pack tenant bank demands onto a fleet of ``spec`` machines.
 
-    First-fit-decreasing by bank count: tenants are considered from the
-    largest demand down (ties keep submission order) and each lands in
-    the first machine with enough free banks; a new machine opens when
-    none fits, up to ``max_machines`` (``None`` grows the fleet on
-    demand, mirroring ``banks=None`` machines growing banks on demand).
-    An unbounded spec (``spec.banks is None``) places every tenant on
-    one machine in submission order.
+    ``policy="ffd"`` (the default) is first-fit-decreasing by bank
+    count: tenants are considered from the largest demand down (ties
+    break on ``tenant_id``, so the plan is independent of submission
+    order) and each lands in the first machine with enough free banks;
+    a new machine opens when none fits, up to ``max_machines``
+    (``None`` grows the fleet on demand, mirroring ``banks=None``
+    machines growing banks on demand).  An unbounded spec
+    (``spec.banks is None``) places every tenant on one machine.
+
+    ``policy="cost"`` packs for *speed*, not just fit: given a
+    calibrated :class:`~repro.runtime.costmodel.PlacementCost` (the
+    ``cost_model``), a greedy seed places tenants hottest-first at the
+    position of least predicted cost, then a local search improves the
+    packing with single-tenant moves and pairwise swaps — spreading hot
+    tenants across machines (co-residents serialize) and co-packing
+    cold ones.  The cost packer never uses more machines than FFD
+    would for the same demands: it reshuffles the same fleet for
+    latency, so the two policies always compare at equal silicon.
+    When the model is missing, covers only part of the tenant set, or
+    carries no traffic signal (:attr:`PlacementCost.has_traffic`),
+    the packer honestly falls back to FFD.
 
     Raises :class:`PlacementError` — naming the offending tenant and its
     bank demand, with the full per-tenant breakdown — when a single
@@ -234,6 +250,10 @@ def plan_placement(
     """
     if not demands:
         raise ValueError("plan_placement needs at least one tenant demand")
+    if policy not in ("ffd", "cost"):
+        raise ValueError(
+            f"unknown placement policy {policy!r} (one of 'ffd', 'cost')"
+        )
     seen = set()
     for demand in demands:
         if demand.tenant_id in seen:
@@ -243,14 +263,16 @@ def plan_placement(
         raise ValueError("max_machines must be >= 1 (or None for auto)")
 
     if spec.banks is None:
+        # One unbounded machine either way; deterministic order.
+        ordered = sorted(demands, key=lambda d: (-d.banks, d.tenant_id))
         offsets, cursor = [], 0
-        for demand in demands:
+        for demand in ordered:
             offsets.append(cursor)
             cursor += demand.banks
         return PlacementPlan(
             assignments=tuple(
                 TenantAssignment(d.tenant_id, 0, offset, d.banks)
-                for d, offset in zip(demands, offsets)
+                for d, offset in zip(ordered, offsets)
             ),
             num_machines=1,
             banks_per_machine=None,
@@ -269,13 +291,33 @@ def plan_placement(
                 tenant_id=demand.tenant_id,
             )
 
-    order = sorted(
-        range(len(demands)), key=lambda i: (-demands[i].banks, i)
-    )
+    ffd_groups = _pack_ffd(demands, capacity, max_machines, spec)
+    if policy == "cost" and _cost_model_usable(cost_model, demands):
+        groups = _pack_cost(demands, capacity, cost_model, ffd_groups)
+    else:
+        groups = ffd_groups
+    return _realize_plan(groups, capacity)
+
+
+def _cost_model_usable(cost_model, demands: Sequence[TenantDemand]) -> bool:
+    """Whether the cost packer has what it needs; FFD otherwise."""
+    if cost_model is None or not getattr(cost_model, "has_traffic", False):
+        return False
+    profiles = getattr(cost_model, "profiles", {})
+    return all(d.tenant_id in profiles for d in demands)
+
+
+def _pack_ffd(
+    demands: Sequence[TenantDemand],
+    capacity: int,
+    max_machines: Optional[int],
+    spec: ArchSpec,
+) -> List[List[TenantDemand]]:
+    """First-fit-decreasing core: per-machine demand groups."""
+    order = sorted(demands, key=lambda d: (-d.banks, d.tenant_id))
+    groups: List[List[TenantDemand]] = []
     fill: List[int] = []
-    placed: List[Optional[TenantAssignment]] = [None] * len(demands)
-    for i in order:
-        demand = demands[i]
+    for demand in order:
         target = next(
             (m for m, used in enumerate(fill)
              if used + demand.banks <= capacity),
@@ -294,19 +336,149 @@ def plan_placement(
                     spec,
                     tenant_id=demand.tenant_id,
                 )
+            groups.append([])
             fill.append(0)
             target = len(fill) - 1
-        placed[i] = TenantAssignment(
-            demand.tenant_id, target, fill[target], demand.banks
-        )
+        groups[target].append(demand)
         fill[target] += demand.banks
-    assignments = sorted(
-        (a for a in placed if a is not None),
-        key=lambda a: (a.machine_index, a.bank_offset),
+    return groups
+
+
+def _pack_cost(
+    demands: Sequence[TenantDemand],
+    capacity: int,
+    cost_model,
+    ffd_groups: List[List[TenantDemand]],
+) -> List[List[TenantDemand]]:
+    """Cost-guided packing at FFD-equal fleet size.
+
+    Greedy seed: tenants hottest-first (offered work, then banks, then
+    id — fully deterministic), each placed where the predicted total
+    cost grows least.  The greedy order can paint itself into a corner
+    FFD would not (bin packing), in which case the FFD groups seed the
+    search instead.  Local search then applies the best single-tenant
+    move or pairwise swap per round until no strict improvement exists.
+    """
+    budget = len(ffd_groups)
+    order = sorted(
+        demands,
+        key=lambda d: (
+            -cost_model.burden_ns(d.tenant_id), -d.banks, d.tenant_id
+        ),
     )
+    groups: List[List[TenantDemand]] = [[] for _ in range(budget)]
+    fill = [0] * budget
+    for demand in order:
+        best, best_total = None, None
+        for m in range(budget):
+            if fill[m] + demand.banks > capacity:
+                continue
+            groups[m].append(demand)
+            total = _groups_cost(groups, cost_model)
+            groups[m].pop()
+            if best is None or total < best_total - 1e-12:
+                best, best_total = m, total
+        if best is None:
+            groups = [list(group) for group in ffd_groups]
+            fill = [sum(d.banks for d in group) for group in groups]
+            break
+        groups[best].append(demand)
+        fill[best] += demand.banks
+    _improve_groups(groups, fill, capacity, cost_model)
+    return [group for group in groups if group]
+
+
+def _groups_cost(groups: Sequence[Sequence[TenantDemand]], cost_model):
+    return cost_model.score_groups(
+        [[d.tenant_id for d in group] for group in groups]
+    ).total
+
+
+def _improve_groups(
+    groups: List[List[TenantDemand]],
+    fill: List[int],
+    capacity: int,
+    cost_model,
+) -> None:
+    """Best-improvement local search: moves and swaps, in place.
+
+    Each round enumerates every feasible single-tenant move and every
+    feasible pairwise swap in deterministic order, applies the strictly
+    best one, and stops when no candidate improves the predicted total
+    (or after a generous round cap — the search is monotone, the cap
+    only bounds pathological plateaus).
+    """
+    n_tenants = sum(len(group) for group in groups)
+    current = _groups_cost(groups, cost_model)
+    for _round in range(2 * n_tenants + 8):
+        best = None  # (total, kind, a, i, b, j)
+        for a in range(len(groups)):
+            for i, demand in enumerate(groups[a]):
+                for b in range(len(groups)):
+                    if b == a:
+                        continue
+                    if fill[b] + demand.banks <= capacity:
+                        groups[a].pop(i)
+                        groups[b].append(demand)
+                        total = _groups_cost(groups, cost_model)
+                        groups[b].pop()
+                        groups[a].insert(i, demand)
+                        if total < current - 1e-12 and (
+                            best is None or total < best[0] - 1e-12
+                        ):
+                            best = (total, "move", a, i, b, None)
+                    for j, other in enumerate(groups[b]):
+                        if a > b:
+                            continue  # each pair once
+                        if (
+                            fill[a] - demand.banks + other.banks > capacity
+                            or fill[b] - other.banks + demand.banks
+                            > capacity
+                        ):
+                            continue
+                        groups[a][i], groups[b][j] = other, demand
+                        total = _groups_cost(groups, cost_model)
+                        groups[a][i], groups[b][j] = demand, other
+                        if total < current - 1e-12 and (
+                            best is None or total < best[0] - 1e-12
+                        ):
+                            best = (total, "swap", a, i, b, j)
+        if best is None:
+            return
+        total, kind, a, i, b, j = best
+        if kind == "move":
+            demand = groups[a].pop(i)
+            groups[b].append(demand)
+            fill[a] -= demand.banks
+            fill[b] += demand.banks
+        else:
+            demand, other = groups[a][i], groups[b][j]
+            groups[a][i], groups[b][j] = other, demand
+            fill[a] += other.banks - demand.banks
+            fill[b] += demand.banks - other.banks
+        current = total
+
+
+def _realize_plan(
+    groups: Sequence[Sequence[TenantDemand]], capacity: Optional[int]
+) -> PlacementPlan:
+    """Deterministic assignments from per-machine groups: within each
+    machine, tenants program largest-first (ties on ``tenant_id``) at
+    cumulative offsets."""
+    assignments: List[TenantAssignment] = []
+    for index, group in enumerate(groups):
+        cursor = 0
+        for demand in sorted(
+            group, key=lambda d: (-d.banks, d.tenant_id)
+        ):
+            assignments.append(
+                TenantAssignment(demand.tenant_id, index, cursor,
+                                 demand.banks)
+            )
+            cursor += demand.banks
     return PlacementPlan(
         assignments=tuple(assignments),
-        num_machines=len(fill),
+        num_machines=len(groups),
         banks_per_machine=capacity,
     )
 

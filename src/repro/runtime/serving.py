@@ -66,6 +66,7 @@ import itertools
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -279,10 +280,22 @@ class ReplicatedSession(ExecutionBackend, MachineGroupView):
 
 # --------------------------------------------------------------- requests
 class _Request:
-    """One queued client request: rows, tenant, urgency and its future."""
+    """One queued client request: rows, tenant, urgency and its future.
+
+    The ``t_*`` fields are wall-clock tracing stamps
+    (``time.perf_counter``) the serving path fills in as the request
+    flows through it: submitted -> pulled into a forming micro-batch
+    (``t_coalesce``) -> batch closed and dispatched to a lane
+    (``t_dispatch``) -> served by the backend (``t_serve_end``) ->
+    result slice resolved into the future (``t_done``).  They feed
+    :meth:`ServingEngine.trace_summary`'s per-phase percentiles — the
+    queue-vs-service split the placement cost model calibrates against.
+    """
 
     __slots__ = (
         "queries", "rows", "future", "tenant", "priority", "deadline", "seq",
+        "t_submit", "t_coalesce", "t_dispatch", "t_serve_start",
+        "t_serve_end", "t_done",
     )
     _seq = itertools.count()
 
@@ -303,6 +316,12 @@ class _Request:
             None if deadline is None else time.monotonic() + float(deadline)
         )
         self.seq = next(self._seq)
+        self.t_submit = time.perf_counter()
+        self.t_coalesce: Optional[float] = None
+        self.t_dispatch: Optional[float] = None
+        self.t_serve_start: Optional[float] = None
+        self.t_serve_end: Optional[float] = None
+        self.t_done: Optional[float] = None
 
     @property
     def sort_key(self) -> Tuple[float, float, int]:
@@ -312,6 +331,23 @@ class _Request:
             float("inf") if self.deadline is None else self.deadline,
             self.seq,
         )
+
+    def spans(self) -> Dict[str, float]:
+        """Per-phase durations in seconds (only the stamped ones):
+        ``queue`` (waiting in the intake), ``coalesce`` (riding a
+        forming micro-batch), ``run`` (lane inbox + backend service),
+        ``merge`` (splitting the batch result and resolving)."""
+        out: Dict[str, float] = {}
+        if self.t_coalesce is not None:
+            out["queue"] = self.t_coalesce - self.t_submit
+            if self.t_dispatch is not None:
+                out["coalesce"] = self.t_dispatch - self.t_coalesce
+                if self.t_serve_end is not None:
+                    out["run"] = self.t_serve_end - self.t_dispatch
+                    if self.t_done is not None:
+                        out["merge"] = self.t_done - self.t_serve_end
+                        out["total"] = self.t_done - self.t_submit
+        return out
 
 
 _SHUTDOWN = object()
@@ -366,6 +402,7 @@ class FifoIntake:
         if first is _SHUTDOWN:
             self._stopped = True
             return None
+        first.t_coalesce = time.perf_counter()
         batch = [first]
         rows = first.rows
         deadline = time.monotonic() + max_wait
@@ -388,6 +425,7 @@ class FifoIntake:
             if rows + nxt.rows > max_batch:
                 self._holdover = nxt  # seeds the next micro-batch
                 break
+            nxt.t_coalesce = time.perf_counter()
             batch.append(nxt)
             rows += nxt.rows
         return batch, rows
@@ -471,6 +509,7 @@ class PriorityIntake:
                 self._cond.wait()
             _key, first = heapq.heappop(self._entries)
             self._account(first, -1)
+            first.t_coalesce = time.perf_counter()
             batch = [first]
             rows = first.rows
             deadline = time.monotonic() + max_wait
@@ -497,6 +536,7 @@ class PriorityIntake:
         ):
             if rows + entry[1].rows <= max_batch:
                 chosen.append(entry)
+                entry[1].t_coalesce = time.perf_counter()
                 batch.append(entry[1])
                 rows += entry[1].rows
                 if rows >= max_batch:
@@ -537,6 +577,65 @@ class _Lane:
         self.rows_dispatched = 0
         self.alive = True
         self.retire_error: Optional[BaseException] = None
+
+
+def _percentile(ordered: List[float], pct: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not ordered:
+        return 0.0
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _array_root(array: np.ndarray) -> np.ndarray:
+    """The owning array at the bottom of a view's ``base`` chain."""
+    while isinstance(array.base, np.ndarray):
+        array = array.base
+    return array
+
+
+def _rowaligned_view(arrays: List[np.ndarray]) -> Optional[np.ndarray]:
+    """One view spanning ``arrays`` when they are adjacent row slices.
+
+    Requests produced by slicing one buffer (``engine.map`` submitting
+    consecutive rows) arrive as views whose row data sits back-to-back
+    in a single owning array.  When every piece is a C-contiguous 2-D
+    view of the *same* root buffer, same dtype and width, and their
+    data pointers tile without gaps, the coalesced batch is just a
+    longer view starting at the first piece — no copy.  Anything else
+    returns ``None`` (the caller concatenates).  The returned view's
+    ``base`` chain keeps the root alive, and staying inside one root
+    buffer is what makes the strided extension memory-safe.
+    """
+    first = arrays[0]
+    if first.ndim != 2 or not first.flags["C_CONTIGUOUS"]:
+        return None
+    root = _array_root(first)
+    rows, cols = first.shape
+    end = first.__array_interface__["data"][0] + first.nbytes
+    for array in arrays[1:]:
+        if (
+            array.ndim != 2
+            or array.shape[1] != cols
+            or array.dtype != first.dtype
+            or not array.flags["C_CONTIGUOUS"]
+            or _array_root(array) is not root
+            or array.__array_interface__["data"][0] != end
+        ):
+            return None
+        end += array.nbytes
+        rows += array.shape[0]
+    # Explicit dense strides: a single-row view can carry a 0 stride on
+    # its leading axis (np.atleast_2d's new axis) while still being
+    # flagged C-contiguous, and extending that stride would repeat one
+    # row instead of walking the buffer.
+    itemsize = first.itemsize
+    return np.lib.stride_tricks.as_strided(
+        first, shape=(rows, cols), strides=(cols * itemsize, itemsize)
+    )
 
 
 def _default_split(result, lo: int, hi: int):
@@ -658,6 +757,11 @@ class ServingEngine:
         self._lanes: List[_Lane] = []
         self.requests_submitted = 0
         self.batches_dispatched = 0
+        #: Micro-batches handed to a lane as an array view (single
+        #: request, or row-aligned requests) instead of a copy.
+        self.zero_copy_batches = 0
+        #: Completed requests' tracing spans, newest last (bounded).
+        self._trace: deque = deque(maxlen=4096)
         #: Called (with the batch's tenant) after every served batch —
         #: the completion signal a cluster autoscaler shrinks on.
         self.on_batch_done: Optional[Callable[[Optional[str]], None]] = None
@@ -925,10 +1029,23 @@ class ServingEngine:
 
     def _dispatch(self, batch: List[_Request], rows: int) -> None:
         tenant = batch[0].tenant
+        # Zero-copy handoff: a single-request batch passes its array
+        # straight through, and row-aligned requests (consecutive
+        # slices of one buffer) coalesce into a view; only genuinely
+        # scattered requests pay the concatenation copy.
+        zero_copy = True
         if len(batch) == 1:
             queries = batch[0].queries
         else:
-            queries = np.concatenate([r.queries for r in batch], axis=0)
+            queries = _rowaligned_view([r.queries for r in batch])
+            if queries is None:
+                zero_copy = False
+                queries = np.concatenate(
+                    [r.queries for r in batch], axis=0
+                )
+        dispatched = time.perf_counter()
+        for request in batch:
+            request.t_dispatch = dispatched
         # The alive-check and the inbox put are atomic under the engine
         # lock: remove_lane flips `alive` under the same lock before it
         # enqueues the shutdown sentinel, so a dispatched batch always
@@ -944,9 +1061,9 @@ class ServingEngine:
                 lane.outstanding += rows
                 lane.rows_dispatched += rows
                 self.batches_dispatched += 1
-                lane.inbox.put(
-                    (batch, queries, tenant, time.perf_counter())
-                )
+                if zero_copy:
+                    self.zero_copy_batches += 1
+                lane.inbox.put((batch, queries, tenant, dispatched))
                 return
             # A control-plane decision (eviction, teardown) removed the
             # last lane between queueing and dispatch.
@@ -1009,15 +1126,21 @@ class ServingEngine:
                 # lane itself must survive to serve later batches.
                 try:
                     with lane.lock:
+                        started = time.perf_counter()
                         result = lane.serve(queries, tenant)
                     self._pace(lane, dispatched)
+                    served = time.perf_counter()
                     offset = 0
                     for request in batch:
+                        request.t_serve_start = started
+                        request.t_serve_end = served
                         piece = self._split(
                             result, offset, offset + request.rows
                         )
                         offset += request.rows
                         self._resolve(request.future.set_result, piece)
+                        request.t_done = time.perf_counter()
+                    self._record_trace(batch)
                 except BaseException as exc:
                     for request in batch:
                         self._resolve(request.future.set_exception, exc)
@@ -1121,6 +1244,7 @@ class ServingEngine:
             return {
                 "requests_submitted": self.requests_submitted,
                 "batches_dispatched": self.batches_dispatched,
+                "zero_copy_batches": self.zero_copy_batches,
                 "rows_dispatched": [
                     lane.rows_dispatched for lane in self._lanes
                 ],
@@ -1128,3 +1252,43 @@ class ServingEngine:
                     lane.outstanding for lane in self._lanes
                 ),
             }
+
+    # ------------------------------------------------------------- tracing
+    def _record_trace(self, batch: List[_Request]) -> None:
+        with self._lock:
+            for request in batch:
+                self._trace.append((request.tenant, request.spans()))
+
+    def trace_summary(self, tenant: Optional[str] = None) -> dict:
+        """Per-phase latency percentiles over recently served requests.
+
+        Phases follow one request through the serving path:
+        ``queue`` (submit -> pulled into a forming micro-batch),
+        ``coalesce`` (riding the batch until it closes and dispatches),
+        ``run`` (lane inbox wait + backend service + pacing),
+        ``merge`` (splitting the batch result and resolving the
+        future), plus ``total`` (submit -> resolved).  Values are
+        wall-clock seconds; ``tenant`` restricts the summary to one
+        tenant's requests.  Returns ``{"requests": N, "phases":
+        {phase: {"p50": ..., "p99": ..., "mean": ...}}}`` over the most
+        recent completed requests (bounded history) — the measured
+        queue-vs-service split the placement cost model's congestion
+        estimate is sanity-checked against.
+        """
+        with self._lock:
+            spans = [
+                span for tid, span in self._trace
+                if tenant is None or tid == tenant
+            ]
+        phases: Dict[str, dict] = {}
+        for phase in ("queue", "coalesce", "run", "merge", "total"):
+            values = [span[phase] for span in spans if phase in span]
+            if not values:
+                continue
+            ordered = sorted(values)
+            phases[phase] = {
+                "p50": _percentile(ordered, 50.0),
+                "p99": _percentile(ordered, 99.0),
+                "mean": sum(ordered) / len(ordered),
+            }
+        return {"requests": len(spans), "phases": phases}

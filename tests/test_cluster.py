@@ -23,6 +23,7 @@ from repro.frontend import placeholder
 from repro.runtime import Cluster, ClusterShutdown
 from repro.runtime import serving as serving_mod
 from repro.runtime.backend import SessionError
+from repro.runtime.costmodel import TrafficHint
 from repro.runtime.placement import PlacementError
 from repro.runtime.serving import PriorityIntake
 
@@ -385,7 +386,13 @@ class TestAutoscaler:
         futures = [cluster.submit(q, tenant="t") for q in queries]
         for future in futures:
             future.result(timeout=60)
-        events = [e["action"] for e in cluster.autoscale_events]
+        # The scaled lane attaches from a worker thread (it programs a
+        # fresh machine), so the event can land after the queue drains.
+        deadline = time.monotonic() + 10
+        events = []
+        while "scale-up" not in events and time.monotonic() < deadline:
+            events = [e["action"] for e in cluster.autoscale_events]
+            time.sleep(0.01)
         assert "scale-up" in events, "queue pressure never scaled up"
         # Drain: completions with an empty queue shrink back to 1 lane.
         deadline = time.monotonic() + 10
@@ -424,6 +431,265 @@ class TestAutoscaler:
             tenant_id="t", lanes=2,
         )
         assert cluster.tenant_lanes("t") == 2
+
+    def test_cost_policy_scales_most_burdened_tenant(self, dot_kernel,
+                                                     stores, rng):
+        """Under ``placement_policy="cost"`` the autoscaler picks its
+        target by cost burden (backlog x calibrated latency), and says
+        so in the event log."""
+        spec = replace(dse_spec(16), banks=2)
+        cluster = Cluster(
+            spec, max_batch=4, max_wait=0.0, time_scale=2e-7,
+            autoscale_max_lanes=3, autoscale_backlog_rows=8,
+            placement_policy="cost",
+            traffic_hints=[TrafficHint("t", rate_qps=50_000.0)],
+        )
+        cluster.admit(
+            compile_dot(dot_kernel, stores[0], spec=spec), tenant_id="t"
+        )
+        # Calibrate: a measured batch gives the tenant a real profile.
+        cluster.run_batch(
+            rng.standard_normal((4, 64)).astype(np.float32), tenant="t"
+        )
+        queries = rng.standard_normal((120, 64)).astype(np.float32)
+        futures = [cluster.submit(q, tenant="t") for q in queries]
+        for future in futures:
+            future.result(timeout=60)
+        # The scaled lane attaches from a worker thread (it programs a
+        # fresh machine), so the event can land after the queue drains.
+        deadline = time.monotonic() + 10
+        ups = []
+        while not ups and time.monotonic() < deadline:
+            ups = [
+                e for e in cluster.autoscale_events
+                if e["action"] == "scale-up"
+            ]
+            time.sleep(0.01)
+        assert ups, "queue pressure never scaled up"
+        assert all(e["reason"] == "cost-burden" for e in ups)
+        cluster.shutdown()
+
+
+# --------------------------------------------------------------------------
+# Cost-model placement and the serializable cluster plan
+# --------------------------------------------------------------------------
+class TestCostPlacementAndPlans:
+    SPEC = replace(dse_spec(16), banks=2)
+
+    HINTS = [
+        TrafficHint("t0", rate_qps=40_000.0, batch_rows=4),
+        TrafficHint("t1", rate_qps=40_000.0, batch_rows=4),
+        TrafficHint("t2", rate_qps=10.0),
+        TrafficHint("t3", rate_qps=10.0),
+    ]
+
+    def _stores(self, rng):
+        return {
+            f"t{i}": rng.choice([-1.0, 1.0], (8, 64)).astype(np.float32)
+            for i in range(4)
+        }
+
+    def _admit_all(self, cluster, dot_kernel, stores):
+        for tid, stored in stores.items():
+            cluster.admit(
+                compile_dot(dot_kernel, stored, spec=self.SPEC),
+                tenant_id=tid,
+            )
+
+    def test_cost_admission_separates_hot_tenants(self, dot_kernel, rng):
+        """Four 1-bank tenants on 2-bank machines: FFD co-packs the hot
+        pair (submission order); the cost policy pays the same two
+        machines but never leaves both hot tenants on one."""
+        stores = self._stores(rng)
+        layouts = {}
+        for policy in ("ffd", "cost"):
+            cluster = Cluster(
+                self.SPEC, placement_policy=policy,
+                traffic_hints=self.HINTS,
+            )
+            # Admit the first three, serve measured traffic so the
+            # model is calibrated, then let t3's admission re-pack.
+            for tid in ("t0", "t1", "t2"):
+                cluster.admit(
+                    compile_dot(dot_kernel, stores[tid], spec=self.SPEC),
+                    tenant_id=tid,
+                )
+            for tid in ("t0", "t1", "t2"):
+                cluster.run_batch(
+                    rng.standard_normal((4, 64)).astype(np.float32),
+                    tenant=tid,
+                )
+            cluster.admit(
+                compile_dot(dot_kernel, stores["t3"], spec=self.SPEC),
+                tenant_id="t3",
+            )
+            layouts[policy] = cluster.bank_spans()
+            assert cluster.stats()["placement_policy"] == policy
+            cluster.shutdown()
+        machines_used = {
+            policy: len({span[0] for span in layout.values()})
+            for policy, layout in layouts.items()
+        }
+        assert machines_used["cost"] == machines_used["ffd"] == 2
+        assert layouts["ffd"]["t0"][0] == layouts["ffd"]["t1"][0]
+        assert layouts["cost"]["t0"][0] != layouts["cost"]["t1"][0]
+
+    def test_results_bitwise_under_cost_policy(self, dot_kernel, rng):
+        stores = self._stores(rng)
+        solo = {}
+        queries = {
+            tid: rng.standard_normal((3, 64)).astype(np.float32)
+            for tid in stores
+        }
+        for tid, stored in stores.items():
+            kernel = compile_dot(dot_kernel, stored, spec=self.SPEC)
+            solo[tid] = kernel.run_batch(queries[tid])
+        with Cluster(
+            self.SPEC, placement_policy="cost", traffic_hints=self.HINTS,
+        ) as cluster:
+            self._admit_all(cluster, dot_kernel, stores)
+            for tid in stores:
+                values, indices = cluster.run_batch(
+                    queries[tid], tenant=tid
+                )
+                np.testing.assert_array_equal(values, solo[tid][0])
+                np.testing.assert_array_equal(indices, solo[tid][1])
+
+    def test_set_traffic_hints_feeds_cost_model(self, dot_kernel, rng):
+        stores = self._stores(rng)
+        with Cluster(self.SPEC) as cluster:
+            self._admit_all(cluster, dot_kernel, stores)
+            for tid in stores:
+                cluster.run_batch(
+                    rng.standard_normal((2, 64)).astype(np.float32),
+                    tenant=tid,
+                )
+            cluster.set_traffic_hints([TrafficHint("t0", rate_qps=123.0)])
+            model = cluster.traffic_cost_model()
+            assert model is not None
+            assert model.hint("t0").rate_qps == 123.0
+            # Unhinted tenants default to their observed volume.
+            assert model.hint("t1").rate_qps > 0
+            assert model.calibration_error(
+                "t0", cluster.tenant_report("t0")
+            ) < 0.5
+
+    def test_plan_round_trips_bitwise(self, dot_kernel, rng):
+        stores = self._stores(rng)
+        queries = {
+            tid: rng.standard_normal((3, 64)).astype(np.float32)
+            for tid in stores
+        }
+        kernels = {
+            tid: compile_dot(dot_kernel, stored, spec=self.SPEC)
+            for tid, stored in stores.items()
+        }
+        cluster = Cluster(
+            self.SPEC, placement_policy="cost", traffic_hints=self.HINTS,
+        )
+        for tid, kernel in kernels.items():
+            cluster.admit(kernel, tenant_id=tid)
+        plan = cluster.plan()
+        spans = cluster.bank_spans()
+        expected = {
+            tid: cluster.run_batch(queries[tid], tenant=tid)
+            for tid in stores
+        }
+        cluster.shutdown()
+
+        import json
+        json.dumps(plan)  # the plan is a wire format, not live objects
+
+        with Cluster.from_plan(plan, kernels) as rebuilt:
+            assert rebuilt.bank_spans() == spans
+            assert rebuilt.plan() == plan
+            assert rebuilt.placement_policy == "cost"
+            for tid in stores:
+                values, indices = rebuilt.run_batch(
+                    queries[tid], tenant=tid
+                )
+                np.testing.assert_array_equal(values, expected[tid][0])
+                np.testing.assert_array_equal(indices, expected[tid][1])
+
+    def test_from_plan_validates(self, dot_kernel, rng):
+        stores = self._stores(rng)
+        kernels = {
+            tid: compile_dot(dot_kernel, stored, spec=self.SPEC)
+            for tid, stored in stores.items()
+        }
+        cluster = Cluster(self.SPEC)
+        for tid, kernel in kernels.items():
+            cluster.admit(kernel, tenant_id=tid)
+        plan = cluster.plan()
+        cluster.shutdown()
+        with pytest.raises(ValueError, match="version"):
+            Cluster.from_plan({**plan, "version": 99}, kernels)
+        with pytest.raises((KeyError, ValueError, SessionError)):
+            Cluster.from_plan(plan, {"t0": kernels["t0"]})
+
+    def test_apply_placement_swaps_layout(self, dot_kernel, rng):
+        stores = self._stores(rng)
+        queries = rng.standard_normal((3, 64)).astype(np.float32)
+        with Cluster(self.SPEC) as cluster:
+            self._admit_all(cluster, dot_kernel, stores)
+            before = cluster.bank_spans()
+            expected = {
+                tid: cluster.run_batch(queries, tenant=tid)
+                for tid in stores
+            }
+            # Mirror the layout across machines.
+            n_machines = 1 + max(span[0] for span in before.values())
+            target = [
+                {
+                    "tenant_id": tid,
+                    "machine_index": n_machines - 1 - span[0],
+                    "bank_offset": span[1],
+                    "banks": span[2],
+                }
+                for tid, span in before.items()
+            ]
+            cluster.apply_placement(target)
+            after = cluster.bank_spans()
+            assert after != before
+            for entry in target:
+                assert after[entry["tenant_id"]] == (
+                    entry["machine_index"],
+                    entry["bank_offset"],
+                    entry["banks"],
+                )
+            # Re-programming elsewhere must not change a single bit.
+            for tid in stores:
+                values, indices = cluster.run_batch(queries, tenant=tid)
+                np.testing.assert_array_equal(values, expected[tid][0])
+                np.testing.assert_array_equal(indices, expected[tid][1])
+            # Idempotent: re-applying the current layout is a no-op.
+            cluster.apply_placement(target)
+            assert cluster.bank_spans() == after
+
+    def test_apply_placement_rejects_wrong_tenants(self, dot_kernel, rng):
+        stores = self._stores(rng)
+        with Cluster(self.SPEC) as cluster:
+            self._admit_all(cluster, dot_kernel, stores)
+            with pytest.raises(SessionError, match="tenant"):
+                cluster.apply_placement([{
+                    "tenant_id": "ghost", "machine_index": 0,
+                    "bank_offset": 0, "banks": 1,
+                }])
+
+    def test_trace_summary_delegates_to_engine(self, dot_kernel, rng):
+        stores = self._stores(rng)
+        with Cluster(self.SPEC, max_batch=4, max_wait=0.001) as cluster:
+            self._admit_all(cluster, dot_kernel, stores)
+            queries = rng.standard_normal((6, 64)).astype(np.float32)
+            futures = [cluster.submit(q, tenant="t0") for q in queries]
+            for future in futures:
+                future.result(timeout=30)
+            summary = cluster.trace_summary()
+            assert summary["requests"] >= 6
+            assert "total" in summary["phases"]
+            mine = cluster.trace_summary(tenant="t0")
+            assert mine["requests"] >= 6
+            assert cluster.trace_summary(tenant="ghost")["requests"] == 0
 
 
 # --------------------------------------------------------------------------

@@ -144,6 +144,127 @@ class TestPlanPlacement:
         assert demand.banks == spec.banks_needed(plan.subarrays)
 
 
+# -------------------------------------------- cost-guided packing policy
+def _hot_cold_cost_model(tenant_ids, hot):
+    """A PlacementCost where ``hot`` tenants dominate the traffic."""
+    from repro.runtime.costmodel import PlacementCost, TenantProfile, TrafficHint
+
+    profiles = [
+        TenantProfile(tenant_id=tid, per_query_latency_ns=100.0)
+        for tid in tenant_ids
+    ]
+    hints = [
+        TrafficHint(
+            tid,
+            rate_qps=50_000.0 if tid in hot else 10.0,
+            batch_rows=4 if tid in hot else 1,
+        )
+        for tid in tenant_ids
+    ]
+    return PlacementCost(profiles, hints=hints)
+
+
+class TestCostPolicy:
+    """``policy="cost"`` packs for predicted latency, never for more
+    machines than FFD, and falls back to FFD when it has nothing to
+    optimize for — deterministically regardless of submission order."""
+
+    SPEC = replace(dse_spec(16), banks=4)
+
+    def _demands(self, order):
+        return [_demand(tid, 2, self.SPEC) for tid in order]
+
+    def test_cost_spreads_hot_tenants_at_equal_fleet(self):
+        ids = ["hot1", "hot2", "cold1", "cold2"]
+        model = _hot_cold_cost_model(ids, hot={"hot1", "hot2"})
+        ffd = plan_placement(self._demands(ids), self.SPEC, policy="ffd")
+        cost = plan_placement(
+            self._demands(ids), self.SPEC, policy="cost", cost_model=model
+        )
+        # Equal demands: FFD co-packs hot1+hot2 in submission order.
+        assert (
+            ffd.for_tenant("hot1").machine_index
+            == ffd.for_tenant("hot2").machine_index
+        )
+        # The cost packer pays the same fleet but splits the hot pair.
+        assert cost.num_machines == ffd.num_machines
+        assert (
+            cost.for_tenant("hot1").machine_index
+            != cost.for_tenant("hot2").machine_index
+        )
+        assert model.score(cost).total < model.score(ffd).total
+
+    @pytest.mark.parametrize("policy", ["ffd", "cost"])
+    def test_submission_order_does_not_change_layout(self, policy):
+        """Regression: packing used to leak dict/submission order for
+        equal-bank demands; the layout must be a pure function of the
+        demand set."""
+        ids = ["hot1", "hot2", "cold1", "cold2"]
+        model = _hot_cold_cost_model(ids, hot={"hot1", "hot2"})
+        kwargs = {"cost_model": model} if policy == "cost" else {}
+        baseline = plan_placement(
+            self._demands(ids), self.SPEC, policy=policy, **kwargs
+        )
+        layout = {
+            a.tenant_id: (a.machine_index, a.bank_offset, a.banks)
+            for a in baseline.assignments
+        }
+        for order in (
+            ["cold2", "hot2", "cold1", "hot1"],
+            ["hot2", "cold1", "hot1", "cold2"],
+            ["cold1", "cold2", "hot1", "hot2"],
+        ):
+            shuffled = plan_placement(
+                self._demands(order), self.SPEC, policy=policy, **kwargs
+            )
+            assert {
+                a.tenant_id: (a.machine_index, a.bank_offset, a.banks)
+                for a in shuffled.assignments
+            } == layout
+
+    def test_cost_without_traffic_matches_ffd(self):
+        """No rates -> nothing to optimize -> byte-identical FFD plan."""
+        from repro.runtime.costmodel import PlacementCost, TenantProfile
+
+        ids = ["a", "b", "c"]
+        silent = PlacementCost([
+            TenantProfile(tenant_id=tid, per_query_latency_ns=10.0)
+            for tid in ids
+        ])
+        assert not silent.has_traffic
+        ffd = plan_placement(self._demands(ids), self.SPEC, policy="ffd")
+        cost = plan_placement(
+            self._demands(ids), self.SPEC, policy="cost", cost_model=silent
+        )
+        assert cost.assignments == ffd.assignments
+
+    def test_cost_without_model_matches_ffd(self):
+        ids = ["a", "b", "c"]
+        ffd = plan_placement(self._demands(ids), self.SPEC, policy="ffd")
+        cost = plan_placement(self._demands(ids), self.SPEC, policy="cost")
+        assert cost.assignments == ffd.assignments
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            plan_placement(self._demands(["a"]), self.SPEC, policy="magic")
+
+    def test_cost_never_exceeds_ffd_fleet(self):
+        """The cost packer optimizes *within* the FFD machine budget so
+        equal-fleet comparisons stay honest."""
+        ids = [f"t{i}" for i in range(6)]
+        model = _hot_cold_cost_model(ids, hot={"t0", "t1", "t2"})
+        for cap in (None, 3):
+            ffd = plan_placement(
+                self._demands(ids), self.SPEC, max_machines=cap,
+                policy="ffd",
+            )
+            cost = plan_placement(
+                self._demands(ids), self.SPEC, max_machines=cap,
+                policy="cost", cost_model=model,
+            )
+            assert cost.num_machines <= ffd.num_machines
+
+
 # ------------------------------------------------- shared-machine sessions
 class TestMultiTenantSession:
     @pytest.fixture()

@@ -333,6 +333,90 @@ class TestServingEngine:
 
 
 # --------------------------------------------------------------------------
+# Request tracing and the zero-copy dispatch path
+# --------------------------------------------------------------------------
+class _CapturingBackend:
+    """Records exactly the array object each micro-batch handed over."""
+
+    def __init__(self):
+        self.batches = []
+
+    def run_batch(self, queries):
+        self.batches.append(queries)
+        return np.array(np.atleast_2d(queries), copy=True)
+
+
+class TestTracingAndZeroCopy:
+    def test_trace_summary_phases(self, dot_kernel, bipolar_store, rng):
+        queries = rng.choice([-1.0, 1.0], (8, 64)).astype(np.float32)
+        kernel = compile_dot(dot_kernel, bipolar_store, (1, 64),
+                             spec=dse_spec(16))
+        with kernel.serve(max_batch=4, max_wait=0.001) as engine:
+            for future in [engine.submit(q) for q in queries]:
+                future.result(timeout=30)
+            summary = engine.trace_summary()
+        assert summary["requests"] == 8
+        assert set(summary["phases"]) == {
+            "queue", "coalesce", "run", "merge", "total"
+        }
+        for stats in summary["phases"].values():
+            assert 0.0 <= stats["p50"] <= stats["p99"]
+            assert stats["mean"] >= 0.0
+        # total covers the inner phases for any single request.
+        assert summary["phases"]["total"]["p99"] >= (
+            summary["phases"]["run"]["p50"]
+        )
+
+    def test_single_request_batch_is_zero_copy(self):
+        backend = _CapturingBackend()
+        batch = np.arange(32.0).reshape(4, 8)
+        with ServingEngine([backend], max_batch=8) as engine:
+            result = engine.submit(batch).result(timeout=30)
+            np.testing.assert_array_equal(result, batch)
+            stats = engine.stats()
+        assert len(backend.batches) == 1
+        assert np.shares_memory(backend.batches[0], batch)
+        assert stats["zero_copy_batches"] == 1
+        assert stats["batches_dispatched"] == 1
+
+    def test_row_aligned_map_coalesces_without_copy(self):
+        """map() rows are consecutive views of one buffer; the
+        dispatcher must stitch them back into a view of that buffer —
+        and the view must carry every row, not the first row repeated
+        (regression: a (1, N) row view is C-contiguous with a zero
+        leading stride, which naive stride extension replicates)."""
+        backend = _CapturingBackend()
+        batch = np.arange(48.0).reshape(6, 8)  # float64: map() won't copy
+        with ServingEngine([backend], max_batch=6, max_wait=0.5) as engine:
+            futures = engine.map(batch)
+            for row, future in enumerate(futures):
+                values = future.result(timeout=30)
+                np.testing.assert_array_equal(values[0], batch[row])
+            stats = engine.stats()
+        assert stats["batches_dispatched"] == 1
+        (seen,) = backend.batches
+        np.testing.assert_array_equal(seen, batch)
+        assert np.shares_memory(seen, batch)
+        assert stats["zero_copy_batches"] == 1
+
+    def test_scattered_requests_pay_the_copy(self):
+        """Requests from unrelated buffers cannot alias — the engine
+        concatenates and the zero-copy counter stays put."""
+        backend = _CapturingBackend()
+        rows = [np.full(8, float(i)) for i in range(4)]  # separate buffers
+        with ServingEngine([backend], max_batch=4, max_wait=0.5) as engine:
+            futures = [engine.submit(row) for row in rows]
+            for row, future in zip(rows, futures):
+                values = future.result(timeout=30)
+                np.testing.assert_array_equal(values[0], row)
+            stats = engine.stats()
+        assert stats["batches_dispatched"] == 1
+        assert stats["zero_copy_batches"] == 0
+        for row in rows:
+            assert not np.shares_memory(backend.batches[0], row)
+
+
+# --------------------------------------------------------------------------
 # Concurrency soak: interleaved producers, zero cross-wiring
 # --------------------------------------------------------------------------
 class TestConcurrencySoak:
